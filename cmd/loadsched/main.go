@@ -1,0 +1,227 @@
+// Command loadsched reproduces the evaluation of "Speculation Techniques for
+// Improving Load Related Instruction Scheduling" (Yoaz, Erez, Ronen,
+// Jourdan; ISCA 1999) on synthetic workloads.
+//
+// Usage:
+//
+//	loadsched figure <5|6|7|8|9|10|11|12> [flags]   reproduce one paper figure
+//	loadsched all [flags]                           reproduce every figure
+//	loadsched run [flags]                           one simulation, full stats
+//	loadsched traces                                list the trace groups
+//
+// Flags (figure/all/run):
+//
+//	-uops N     measured uops per trace (default 200000)
+//	-warmup N   warmup uops per trace (default 40000)
+//	-traces N   traces per group (default all)
+//	-quick      small preset (60K uops, 2 traces/group)
+//
+// Flags (run):
+//
+//	-group G -trace T   workload (default SysmarkNT/ex)
+//	-scheme S           ordering scheme (traditional opportunistic postponing
+//	                    inclusive exclusive perfect)
+//	-window N           scheduling window size
+//	-hmp P              hit-miss predictor (none local chooser perfect)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/hitmiss"
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "figure":
+		if len(args) < 1 {
+			fatal("figure: missing number (5-12)")
+		}
+		runFigures([]string{args[0]}, args[1:])
+	case "all":
+		runFigures([]string{"5", "6", "7", "8", "9", "10", "11", "12"}, args)
+	case "run":
+		runSingle(args)
+	case "sweep":
+		runSweep(args)
+	case "record":
+		runRecord(args)
+	case "replay":
+		runReplay(args)
+	case "traces":
+		listTraces()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fatal("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `loadsched — ISCA'99 load-scheduling speculation reproduction
+commands:
+  figure <5..12> [flags]  reproduce one paper figure
+  all [flags]             reproduce all figures
+  run [flags]             single simulation with full statistics
+  sweep <kind> [flags]    sensitivity sweeps: window | penalty | chtsize
+  record -o f [flags]     serialize a synthetic trace to a file
+  replay -f f [flags]     simulate a recorded trace file
+  traces                  list trace groups and members
+run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick;
+'run' also takes -group -trace -scheme -window -hmp`)
+}
+
+func fatal(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "loadsched: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func optionFlags(fs *flag.FlagSet) *experiments.Options {
+	o := experiments.DefaultOptions()
+	fs.IntVar(&o.Uops, "uops", o.Uops, "measured uops per trace")
+	fs.IntVar(&o.Warmup, "warmup", o.Warmup, "warmup uops per trace")
+	fs.IntVar(&o.TracesPerGroup, "traces", o.TracesPerGroup, "traces per group (0 = all)")
+	return &o
+}
+
+func runFigures(figs []string, args []string) {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	o := optionFlags(fs)
+	quick := fs.Bool("quick", false, "small fast preset")
+	chart := fs.Bool("chart", false, "also render bar charts")
+	_ = fs.Parse(args)
+	if *quick {
+		*o = experiments.Quick()
+	}
+	for _, f := range figs {
+		tbl, ch := figureTable(f, *o)
+		tbl.Render(os.Stdout)
+		if *chart && ch != nil {
+			fmt.Println()
+			ch.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+func figureTable(f string, o experiments.Options) (stats.Table, *stats.BarChart) {
+	switch f {
+	case "5":
+		rows := experiments.Fig5(o)
+		return experiments.Fig5Table(rows), experiments.Fig5Chart(rows)
+	case "6":
+		rows := experiments.Fig6(o)
+		return experiments.Fig6Table(rows), experiments.Fig6Chart(rows)
+	case "7":
+		r := experiments.Fig7(o)
+		return experiments.Fig7Table(r), experiments.Fig7Chart(r)
+	case "8":
+		return experiments.Fig8Table(experiments.Fig8(o)), nil
+	case "9":
+		return experiments.Fig9Table(experiments.Fig9(o)), nil
+	case "10":
+		return experiments.Fig10Table(experiments.Fig10(o)), nil
+	case "11":
+		cells := experiments.Fig11(o)
+		return experiments.Fig11Table(cells), experiments.Fig11Chart(cells)
+	case "12":
+		rows := experiments.Fig12(o)
+		return experiments.Fig12Table(rows), experiments.Fig12Chart(rows, 5)
+	default:
+		fatal("unknown figure %q (want 5-12)", f)
+		panic("unreachable")
+	}
+}
+
+func runSingle(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	o := optionFlags(fs)
+	group := fs.String("group", trace.GroupSysmarkNT, "trace group")
+	traceName := fs.String("trace", "ex", "trace name within the group")
+	scheme := fs.String("scheme", "traditional", "memory ordering scheme")
+	window := fs.Int("window", 32, "scheduling window entries")
+	hmp := fs.String("hmp", "none", "hit-miss predictor: none local chooser perfect")
+	_ = fs.Parse(args)
+
+	p, ok := trace.TraceByName(*group, *traceName)
+	if !ok {
+		fatal("unknown trace %s/%s (see 'loadsched traces')", *group, *traceName)
+	}
+	cfg := ooo.DefaultConfig()
+	cfg.Window = *window
+	cfg.WarmupUops = o.Warmup
+	cfg.Scheme, ok = parseScheme(*scheme)
+	if !ok {
+		fatal("unknown scheme %q", *scheme)
+	}
+	if cfg.Scheme.UsesCHT() {
+		cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+	}
+	switch *hmp {
+	case "none":
+	case "local":
+		cfg.HMP = hitmiss.NewLocal()
+	case "chooser":
+		cfg.HMP = hitmiss.NewChooser()
+	case "perfect":
+		cfg.HMP = &hitmiss.Perfect{}
+	default:
+		fatal("unknown hmp %q", *hmp)
+	}
+
+	e := ooo.NewEngine(cfg, trace.New(p))
+	st := e.Run(o.Uops)
+	printRunStats(*group, *traceName, cfg, st)
+}
+
+func parseScheme(s string) (memdep.Scheme, bool) {
+	for _, sc := range memdep.Schemes() {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, true
+		}
+	}
+	return 0, false
+}
+
+func printRunStats(group, name string, cfg ooo.Config, st ooo.Stats) {
+	label := group + "/" + name
+	if group == "file" {
+		label = name
+	}
+	fmt.Printf("%s  scheme=%v window=%d\n", label, cfg.Scheme, cfg.Window)
+	fmt.Printf("  cycles=%d uops=%d IPC=%.3f\n", st.Cycles, st.Uops, st.IPC())
+	fmt.Printf("  loads=%d stores=%d branches=%d (mispredicted %d)\n",
+		st.Loads, st.Stores, st.Branches, st.BranchMispredicts)
+	c := st.Class
+	fmt.Printf("  classification: AC=%s ANC=%s no-conflict=%s\n",
+		stats.Pct(c.FracOfLoads(c.AC())), stats.Pct(c.FracOfLoads(c.ANC())),
+		stats.Pct(c.FracOfLoads(c.NotConflicting)))
+	fmt.Printf("  collisions=%d  L1 miss=%s  L2 miss=%d\n",
+		st.Collisions, stats.Pct(st.L1MissRate()), st.L2Misses)
+	hm := st.HM
+	fmt.Printf("  hit-miss: AH-PH=%d AH-PM=%d AM-PH=%d AM-PM=%d\n",
+		hm.AHPH, hm.AHPM, hm.AMPH, hm.AMPM)
+}
+
+func listTraces() {
+	for _, g := range trace.Groups() {
+		fmt.Printf("%s (%d traces):", g.Name, len(g.Traces))
+		for _, t := range g.Traces {
+			fmt.Printf(" %s", t.Name)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+// runSweep implements `loadsched sweep <kind>`: sensitivity sweeps beyond
+// the paper's figures — window size, collision penalty, CHT size — useful
+// for exploring the design space the paper's constants sit in.
+func runSweep(args []string) {
+	if len(args) < 1 {
+		fatal("sweep: missing kind (window | penalty | chtsize | bankpolicies)")
+	}
+	kind := args[0]
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	o := optionFlags(fs)
+	group := fs.String("group", trace.GroupSysmarkNT, "trace group")
+	quick := fs.Bool("quick", false, "small fast preset")
+	_ = fs.Parse(args[1:])
+	if *quick {
+		*o = experiments.Quick()
+	}
+
+	g, ok := trace.GroupByName(*group)
+	if !ok {
+		fatal("unknown group %q", *group)
+	}
+	traces := g.Traces
+	if o.TracesPerGroup > 0 && o.TracesPerGroup < len(traces) {
+		traces = traces[:o.TracesPerGroup]
+	}
+
+	run := func(mut func(*ooo.Config)) float64 {
+		ipc := make([]float64, 0, len(traces))
+		for _, p := range traces {
+			cfg := ooo.DefaultConfig()
+			cfg.WarmupUops = o.Warmup
+			mut(&cfg)
+			e := ooo.NewEngine(cfg, trace.New(p))
+			ipc = append(ipc, e.Run(o.Uops).IPC())
+		}
+		return stats.GeoMean(ipc)
+	}
+
+	var t stats.Table
+	switch kind {
+	case "window":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — IPC vs scheduling window (%s)", *group),
+			Columns: []string{"window", "Traditional", "Exclusive", "Perfect", "Excl speedup"},
+		}
+		for _, w := range []int{8, 16, 32, 64, 128} {
+			trad := run(func(c *ooo.Config) { c.Window = w })
+			excl := run(func(c *ooo.Config) {
+				c.Window = w
+				c.Scheme = memdep.Exclusive
+				c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+			})
+			perf := run(func(c *ooo.Config) { c.Window = w; c.Scheme = memdep.Perfect })
+			t.AddRow(fmt.Sprintf("%d", w), stats.F3(trad), stats.F3(excl), stats.F3(perf),
+				stats.F3(excl/trad))
+		}
+	case "penalty":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — ordering-scheme speedup vs collision penalty (%s)", *group),
+			Note:    "the paper's constant is 8 cycles (§3.1)",
+			Columns: []string{"penalty", "Opportunistic", "Inclusive", "Perfect"},
+		}
+		for _, pen := range []int{0, 4, 8, 16, 32} {
+			base := run(func(c *ooo.Config) { c.CollisionPenalty = pen })
+			row := []string{fmt.Sprintf("%d", pen)}
+			for _, s := range []memdep.Scheme{memdep.Opportunistic, memdep.Inclusive, memdep.Perfect} {
+				v := run(func(c *ooo.Config) {
+					c.CollisionPenalty = pen
+					c.Scheme = s
+					if s.UsesCHT() {
+						c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+					}
+				})
+				row = append(row, stats.F3(v/base))
+			}
+			t.AddRow(row...)
+		}
+	case "chtsize":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — Inclusive-scheme speedup vs Full-CHT size (%s)", *group),
+			Columns: []string{"entries", "speedup"},
+		}
+		base := run(func(c *ooo.Config) {})
+		for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
+			v := run(func(c *ooo.Config) {
+				c.Scheme = memdep.Inclusive
+				c.CHT = memdep.NewFullCHT(n, 4, 2, true)
+			})
+			t.AddRow(fmt.Sprintf("%d", n), stats.F3(v/base))
+		}
+	case "bankpolicies":
+		t = experiments.BankPoliciesTable(experiments.BankPolicies(*o))
+	default:
+		fatal("unknown sweep %q (want window | penalty | chtsize | bankpolicies)", kind)
+	}
+	t.Render(os.Stdout)
+}
+
+// runRecord implements `loadsched record`: serialize a synthetic trace.
+func runRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	group := fs.String("group", trace.GroupSysmarkNT, "trace group")
+	traceName := fs.String("trace", "ex", "trace name")
+	n := fs.Int("n", 300_000, "uops to record")
+	out := fs.String("o", "", "output file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		fatal("record: -o <file> is required")
+	}
+	p, ok := trace.TraceByName(*group, *traceName)
+	if !ok {
+		fatal("unknown trace %s/%s", *group, *traceName)
+	}
+	if err := trace.WriteTraceFile(*out, p, *n); err != nil {
+		fatal("record: %v", err)
+	}
+	fmt.Printf("recorded %d uops of %s/%s to %s\n", *n, *group, *traceName, *out)
+}
+
+// runReplay implements `loadsched replay`: simulate a recorded trace file.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	file := fs.String("f", "", "trace file (required)")
+	scheme := fs.String("scheme", "traditional", "memory ordering scheme")
+	window := fs.Int("window", 32, "scheduling window entries")
+	warmup := fs.Int("warmup", 40_000, "warmup uops")
+	uops := fs.Int("uops", 0, "measured uops (default: file length - warmup)")
+	_ = fs.Parse(args)
+	if *file == "" {
+		fatal("replay: -f <file> is required")
+	}
+	rd, err := trace.ReadTraceFile(*file)
+	if err != nil {
+		fatal("replay: %v", err)
+	}
+	cfg := ooo.DefaultConfig()
+	cfg.Window = *window
+	cfg.WarmupUops = *warmup
+	var ok bool
+	cfg.Scheme, ok = parseScheme(*scheme)
+	if !ok {
+		fatal("unknown scheme %q", *scheme)
+	}
+	if cfg.Scheme.UsesCHT() {
+		cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+	}
+	n := *uops
+	if n <= 0 {
+		n = rd.Len() - *warmup
+		if n <= 0 {
+			fatal("replay: trace shorter than warmup")
+		}
+	}
+	st := ooo.NewEngine(cfg, rd).Run(n)
+	printRunStats("file", *file, cfg, st)
+}

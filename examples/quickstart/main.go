@@ -1,0 +1,56 @@
+// Quickstart: simulate one workload on the paper's baseline machine, then
+// turn on each of the three speculation techniques and watch the IPC move.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loadsched"
+)
+
+func main() {
+	w := loadsched.Workload{Group: "SpecInt95", Trace: "gcc", Uops: 150_000, Warmup: 30_000}
+
+	// 1. Today's machine: Traditional ordering, always-hit scheduling.
+	base, err := loadsched.Run(w, loadsched.Machine{Scheme: loadsched.Traditional})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (Traditional, always-hit):    IPC %.3f\n", base.IPC())
+	fmt.Printf("  loads: %.1f%% collide, %.1f%% conflict-free, L1 miss rate %.2f%%\n",
+		100*base.Class.FracOfLoads(base.Class.AC()),
+		100*base.Class.FracOfLoads(base.Class.NotConflicting),
+		100*base.L1MissRate())
+
+	// 2. Memory-dependence prediction: the Inclusive collision predictor lets
+	// non-colliding loads bypass every older store.
+	incl, err := loadsched.Run(w, loadsched.Machine{Scheme: loadsched.Inclusive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with collision prediction (Inclusive): IPC %.3f (%+.1f%%)\n",
+		incl.IPC(), 100*(incl.IPC()/base.IPC()-1))
+
+	// 3. Add hit-miss prediction with timing information on top.
+	hmp, err := loadsched.Run(w, loadsched.Machine{
+		Scheme: loadsched.Inclusive, HMP: loadsched.HMPLocal, TimingHMP: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plus hit-miss prediction (+timing):    IPC %.3f (%+.1f%%)\n",
+		hmp.IPC(), 100*(hmp.IPC()/base.IPC()-1))
+	fmt.Printf("  caught misses (AM-PM): %d of %d; false alarms (AH-PM): %d\n",
+		hmp.HM.AMPM, hmp.HM.Misses(), hmp.HM.AHPM)
+
+	// 4. The headroom: perfect disambiguation and a perfect HMP.
+	perf, err := loadsched.Run(w, loadsched.Machine{Scheme: loadsched.Perfect, HMP: loadsched.HMPPerfect})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle (Perfect + perfect HMP):        IPC %.3f (%+.1f%%)\n",
+		perf.IPC(), 100*(perf.IPC()/base.IPC()-1))
+}

@@ -1,0 +1,3 @@
+module loadsched
+
+go 1.22

@@ -1,0 +1,135 @@
+// Package addrpred implements a correlated load-address predictor in the
+// spirit of Bekerman et al. [Beke99] ("Correlated Load-Address Predictor",
+// ISCA-26), which the paper adapts for bank prediction: predicting the
+// load's effective address trivially yields its bank bit.
+//
+// The implementation keeps, per static load, the last observed address, the
+// last stride, and a confidence counter that rises while the stride repeats.
+// Stack and global loads (constant address, stride 0) and streaming loads
+// (constant stride) predict with high confidence; pointer-chasing loads
+// never become confident and abstain. That yields the [Beke99] operating
+// point the paper quotes: ≈70% of loads predicted with ≈98% accuracy.
+package addrpred
+
+import "loadsched/internal/predict"
+
+// entry is one predictor row.
+type entry struct {
+	tag      uint64
+	valid    bool
+	lastAddr uint64
+	stride   int64
+	conf     predict.SatCounter
+	lru      uint64
+}
+
+// Prediction is a predicted effective address.
+type Prediction struct {
+	// Addr is the predicted address (last + stride).
+	Addr uint64
+	// Confident reports whether the stride has repeated enough for the
+	// prediction to be trusted.
+	Confident bool
+	// Hit reports whether the load had a table entry at all.
+	Hit bool
+}
+
+// Predictor is a set-associative last-address + stride predictor.
+type Predictor struct {
+	sets [][]entry
+	ways int
+	tick uint64
+	// ConfThreshold is the confidence level at which predictions are
+	// reported Confident (counter value, 0..3).
+	ConfThreshold uint8
+}
+
+// New builds a predictor with the given entry count (power of two when
+// divided by ways) and associativity.
+func New(entries, ways int) *Predictor {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("addrpred: bad geometry")
+	}
+	p := &Predictor{ways: ways, ConfThreshold: 2}
+	p.sets = make([][]entry, entries/ways)
+	for i := range p.sets {
+		p.sets[i] = make([]entry, ways)
+	}
+	return p
+}
+
+func (p *Predictor) index(ip uint64) (uint64, uint64) {
+	v := ip >> 2
+	return v % uint64(len(p.sets)), v / uint64(len(p.sets))
+}
+
+func (p *Predictor) find(ip uint64) *entry {
+	set, tag := p.index(ip)
+	for i := range p.sets[set] {
+		e := &p.sets[set][i]
+		if e.valid && e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+// Predict returns the address prediction for the load at ip.
+func (p *Predictor) Predict(ip uint64) Prediction {
+	e := p.find(ip)
+	if e == nil {
+		return Prediction{}
+	}
+	return Prediction{
+		Addr:      uint64(int64(e.lastAddr) + e.stride),
+		Confident: e.conf.Value() >= p.ConfThreshold,
+		Hit:       true,
+	}
+}
+
+// Update trains the predictor with the load's actual address.
+func (p *Predictor) Update(ip, addr uint64) {
+	e := p.find(ip)
+	if e == nil {
+		set, tag := p.index(ip)
+		victim := 0
+		for i := range p.sets[set] {
+			if !p.sets[set][i].valid {
+				victim = i
+				break
+			}
+			if p.sets[set][i].lru < p.sets[set][victim].lru {
+				victim = i
+			}
+		}
+		p.tick++
+		p.sets[set][victim] = entry{
+			tag: tag, valid: true, lastAddr: addr,
+			conf: predict.NewSatCounter(2), lru: p.tick,
+		}
+		return
+	}
+	p.tick++
+	e.lru = p.tick
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride {
+		e.conf.Inc()
+	} else {
+		// A broken stride costs two: drop confidence fast so irregular
+		// loads abstain.
+		e.conf.Dec()
+		e.conf.Dec()
+		e.stride = stride
+	}
+	e.lastAddr = addr
+}
+
+// Reset clears the table.
+func (p *Predictor) Reset() {
+	for s := range p.sets {
+		for w := range p.sets[s] {
+			p.sets[s][w] = entry{}
+		}
+	}
+	p.tick = 0
+}

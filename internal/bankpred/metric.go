@@ -1,0 +1,89 @@
+package bankpred
+
+// Stats accumulates a bank predictor's statistical performance over a load
+// stream: the prediction rate P (how many loads get a prediction) and the
+// accuracy (how many predictions are correct). These are the two factors
+// §4.3 identifies.
+type Stats struct {
+	// Total is the number of loads seen.
+	Total uint64
+	// Correct and Wrong partition the predicted loads.
+	Correct, Wrong uint64
+}
+
+// Predicted returns the number of loads that received a prediction.
+func (s *Stats) Predicted() uint64 { return s.Correct + s.Wrong }
+
+// Rate returns P, the fraction of loads predicted.
+func (s *Stats) Rate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Predicted()) / float64(s.Total)
+}
+
+// Accuracy returns the fraction of predictions that were correct.
+func (s *Stats) Accuracy() float64 {
+	if s.Predicted() == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predicted())
+}
+
+// R returns the correct:wrong ratio of §4.3 (>> 1 for a useful predictor).
+func (s *Stats) R() float64 {
+	if s.Wrong == 0 {
+		if s.Correct == 0 {
+			return 0
+		}
+		return float64(s.Correct) // effectively infinite; avoid Inf in reports
+	}
+	return float64(s.Correct) / float64(s.Wrong)
+}
+
+// Record tallies one load.
+func (s *Stats) Record(predicted, correct bool) {
+	s.Total++
+	if !predicted {
+		return
+	}
+	if correct {
+		s.Correct++
+	} else {
+		s.Wrong++
+	}
+}
+
+// Add accumulates another tally.
+func (s *Stats) Add(o Stats) {
+	s.Total += o.Total
+	s.Correct += o.Correct
+	s.Wrong += o.Wrong
+}
+
+// Metric evaluates the paper's relative-performance metric (§4.3) at a given
+// misprediction penalty, using the exact derivation rather than the
+// approximation:
+//
+//	LoadExecutionTime = (1−P) + P·(0.5·R + Penalty)/(R+1)
+//	GainPerLoad       = 1 − LoadExecutionTime
+//	Metric            = GainPerLoad / 0.5
+//
+// A perfect two-bank predictor scores 1 (ideal dual porting); 0 means no
+// improvement over a single-ported cache; negative values mean mispredictions
+// cost more than banking gains.
+func (s *Stats) Metric(penalty float64) float64 {
+	return Metric(s.Rate(), s.R(), penalty)
+}
+
+// Metric is the standalone form of the §4.3 formula for a prediction rate
+// p, correct:wrong ratio r, and misprediction penalty (in load-execution
+// units).
+func Metric(p, r, penalty float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	loadTime := (1 - p) + p*(0.5*r+penalty)/(r+1)
+	gain := 1 - loadTime
+	return gain / 0.5
+}

@@ -1,0 +1,71 @@
+package bankpred
+
+import (
+	"fmt"
+
+	"loadsched/internal/predict"
+)
+
+// PerBit scales binary bank prediction to 2^n banks, as §2.3 sketches: each
+// bit of the bank ID is predicted independently with its own confidence; if
+// any bit is unconfident the load abstains (and would be sent to the banks
+// matching the confident bits — modelled here as full abstention, the
+// conservative accounting).
+type PerBit struct {
+	bits []*binaryBank
+}
+
+// NewPerBit builds an n-bit (2^n-bank) predictor; each bit gets its own
+// local+gshare+gskew chooser.
+func NewPerBit(bankBits int) *PerBit {
+	if bankBits <= 0 {
+		panic(fmt.Sprintf("bankpred: bankBits %d must be positive", bankBits))
+	}
+	p := &PerBit{}
+	for i := 0; i < bankBits; i++ {
+		p.bits = append(p.bits, &binaryBank{
+			comps:     []predict.Binary{newLocalComp(), newGShareComp(), newGSkewComp()},
+			weights:   []int{1, 1, 1},
+			minMargin: 4,
+		})
+	}
+	return p
+}
+
+// key decorrelates the per-bit tables so bit i of one load does not train
+// bit j of another.
+func (p *PerBit) key(ip uint64, bit int) uint64 { return ip ^ uint64(bit)<<40 }
+
+// Predict implements Predictor.
+func (p *PerBit) Predict(ip uint64) (int, bool) {
+	bank := 0
+	for i, b := range p.bits {
+		bit, ok := b.Predict(p.key(ip, i))
+		if !ok {
+			return 0, false
+		}
+		bank |= bit << i
+	}
+	return bank, true
+}
+
+// Update implements Predictor.
+func (p *PerBit) Update(ip uint64, bank int) {
+	for i, b := range p.bits {
+		bit := 0
+		if bank&(1<<i) != 0 {
+			bit = 1
+		}
+		b.Update(p.key(ip, i), bit)
+	}
+}
+
+// Reset implements Predictor.
+func (p *PerBit) Reset() {
+	for _, b := range p.bits {
+		b.Reset()
+	}
+}
+
+// Name implements Predictor.
+func (p *PerBit) Name() string { return fmt.Sprintf("perbit-%dbanks", 1<<len(p.bits)) }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/stats"
+)
+
+// Chart builders: terminal bar-chart views of the figures that the paper
+// draws as bar graphs. The CLI's -chart flag renders these under the
+// tables.
+
+// Fig5Chart draws the AC share per group.
+func Fig5Chart(rows []Fig5Row) *stats.BarChart {
+	c := &stats.BarChart{
+		Title:       "AC (colliding) share of loads per group",
+		FormatValue: stats.Pct,
+	}
+	for _, r := range rows {
+		c.Add(r.Group, r.Class.FracOfLoads(r.Class.AC()))
+	}
+	return c
+}
+
+// Fig6Chart draws the AC share per window size.
+func Fig6Chart(rows []Fig6Row) *stats.BarChart {
+	c := &stats.BarChart{
+		Title:       "AC share vs scheduling window (SysmarkNT)",
+		FormatValue: stats.Pct,
+	}
+	for _, r := range rows {
+		c.Add(fmt.Sprintf("window %d", r.Window), r.Class.FracOfLoads(r.Class.AC()))
+	}
+	return c
+}
+
+// Fig7Chart draws the average speedup per scheme, baseline-relative as the
+// paper's y-axis (1.00 at the origin).
+func Fig7Chart(r Fig7Result) *stats.BarChart {
+	c := &stats.BarChart{
+		Title:    "NT-average speedup over Traditional",
+		Baseline: 1,
+	}
+	for _, s := range memdep.Schemes() {
+		c.Add(s.String(), r.Average(s))
+	}
+	return c
+}
+
+// Fig11Chart draws the per-predictor average HMP speedup.
+func Fig11Chart(cells []Fig11Cell) *stats.BarChart {
+	c := &stats.BarChart{
+		Title:    "Average speedup over always-hit scheduling",
+		Baseline: 1,
+	}
+	sums := map[string][]float64{}
+	for _, cell := range cells {
+		sums[cell.Predictor] = append(sums[cell.Predictor], cell.Speedup)
+	}
+	for _, p := range Fig11Predictors {
+		c.Add(p, stats.GeoMean(sums[p]))
+	}
+	return c
+}
+
+// Fig12Chart draws each predictor's metric at a representative penalty.
+func Fig12Chart(rows []Fig12Row, penalty float64) *stats.BarChart {
+	c := &stats.BarChart{
+		Title: fmt.Sprintf("Bank-prediction gain metric at penalty %.0f (1.0 = ideal dual port)", penalty),
+		Max:   1,
+	}
+	for _, r := range rows {
+		c.Add(fmt.Sprintf("%s/%s", r.Group, r.Predictor), r.Metric(penalty))
+	}
+	return c
+}

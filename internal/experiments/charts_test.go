@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/trace"
+)
+
+func TestFig5Chart(t *testing.T) {
+	rows := []Fig5Row{
+		{Group: "A", Class: memdep.Classification{Loads: 100, ACPC: 10, ANCPNC: 60, NotConflicting: 30}},
+		{Group: "B", Class: memdep.Classification{Loads: 100, ACPC: 5, ANCPNC: 65, NotConflicting: 30}},
+	}
+	out := Fig5Chart(rows).String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "10.0%") {
+		t.Fatalf("chart missing data: %q", out)
+	}
+}
+
+func TestFig6Chart(t *testing.T) {
+	rows := []Fig6Row{
+		{Window: 8, Class: memdep.Classification{Loads: 100, ACPC: 2}},
+		{Window: 128, Class: memdep.Classification{Loads: 100, ACPC: 12}},
+	}
+	out := Fig6Chart(rows).String()
+	if !strings.Contains(out, "window 8") || !strings.Contains(out, "window 128") {
+		t.Fatalf("chart missing windows: %q", out)
+	}
+}
+
+func TestFig7Chart(t *testing.T) {
+	r := Fig7Result{
+		Traces: []string{"x"},
+		Speedup: map[memdep.Scheme][]float64{
+			memdep.Traditional:   {1.0},
+			memdep.Opportunistic: {1.09},
+			memdep.Postponing:    {1.06},
+			memdep.Inclusive:     {1.14},
+			memdep.Exclusive:     {1.16},
+			memdep.Perfect:       {1.17},
+		},
+	}
+	out := Fig7Chart(r).String()
+	// The Perfect bar must be the longest and Traditional empty.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var tradBlocks, perfBlocks int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.Contains(l, "Traditional") {
+			tradBlocks = n
+		}
+		if strings.Contains(l, "Perfect") {
+			perfBlocks = n
+		}
+	}
+	if tradBlocks != 0 {
+		t.Fatalf("baseline bar must be empty: %q", out)
+	}
+	if perfBlocks == 0 {
+		t.Fatalf("perfect bar empty: %q", out)
+	}
+}
+
+func TestFig11And12Charts(t *testing.T) {
+	cells := []Fig11Cell{
+		{Group: trace.GroupSpecInt95, Predictor: "local", Speedup: 1.02},
+		{Group: trace.GroupSysmarkNT, Predictor: "local", Speedup: 1.01},
+		{Group: trace.GroupSpecInt95, Predictor: "chooser", Speedup: 1.01},
+		{Group: trace.GroupSysmarkNT, Predictor: "chooser", Speedup: 1.0},
+		{Group: trace.GroupSpecInt95, Predictor: "local+timing", Speedup: 1.03},
+		{Group: trace.GroupSysmarkNT, Predictor: "local+timing", Speedup: 1.02},
+		{Group: trace.GroupSpecInt95, Predictor: "chooser+timing", Speedup: 1.02},
+		{Group: trace.GroupSysmarkNT, Predictor: "chooser+timing", Speedup: 1.01},
+		{Group: trace.GroupSpecInt95, Predictor: "perfect", Speedup: 1.06},
+		{Group: trace.GroupSysmarkNT, Predictor: "perfect", Speedup: 1.04},
+	}
+	out := Fig11Chart(cells).String()
+	if !strings.Contains(out, "perfect") {
+		t.Fatalf("fig11 chart: %q", out)
+	}
+	rows := []Fig12Row{{Group: "G", Predictor: "A"}}
+	rows[0].Stats.Total = 100
+	rows[0].Stats.Correct = 49
+	rows[0].Stats.Wrong = 1
+	out = Fig12Chart(rows, 5).String()
+	if !strings.Contains(out, "G/A") {
+		t.Fatalf("fig12 chart: %q", out)
+	}
+}
+
+func TestBankPolicies(t *testing.T) {
+	rows := BankPolicies(Options{Uops: 40000, Warmup: 10000, TracesPerGroup: 1})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]BankPolicyRow{}
+	for _, r := range rows {
+		if r.Stats.Total == 0 {
+			t.Fatalf("%s saw no loads", r.Policy)
+		}
+		byName[r.Policy] = r
+	}
+	// The confidence-gated policies must trade rate for accuracy relative
+	// to the plain majority vote.
+	maj := byName["majority"]
+	for _, n := range []string{"high-confidence", "confidence-weighted"} {
+		r := byName[n]
+		if r.Stats.Rate() > maj.Stats.Rate() {
+			t.Errorf("%s rate (%.2f) above majority (%.2f)", n, r.Stats.Rate(), maj.Stats.Rate())
+		}
+		if r.Stats.Accuracy()+0.01 < maj.Stats.Accuracy() {
+			t.Errorf("%s accuracy (%.3f) clearly below majority (%.3f)", n, r.Stats.Accuracy(), maj.Stats.Accuracy())
+		}
+	}
+	_ = BankPoliciesTable(rows)
+}

@@ -1,0 +1,71 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§4): each FigN function runs the corresponding workloads through the
+// simulator (or through the statistical replay harness, where the paper's
+// evaluation was statistical) and returns both structured results and a
+// rendered text table. EXPERIMENTS.md records the paper-vs-measured
+// comparison for each.
+package experiments
+
+import (
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// Options scale every experiment. Benchmarks use small values; the CLI
+// defaults are large enough for stable percentages.
+type Options struct {
+	// Uops is the number of measured uops per trace.
+	Uops int
+	// Warmup is the number of uops simulated before measurement, letting
+	// caches and predictors reach steady state.
+	Warmup int
+	// TracesPerGroup caps how many traces of each group run (0 = all).
+	TracesPerGroup int
+}
+
+// DefaultOptions is the CLI default: every trace, 200K measured uops each.
+func DefaultOptions() Options {
+	return Options{Uops: 200_000, Warmup: 40_000}
+}
+
+// Quick is a fast configuration for tests and short benchmark runs.
+func Quick() Options {
+	return Options{Uops: 60_000, Warmup: 15_000, TracesPerGroup: 2}
+}
+
+// traces returns the group's traces under the cap.
+func (o Options) traces(g trace.Group) []trace.Profile {
+	if o.TracesPerGroup > 0 && o.TracesPerGroup < len(g.Traces) {
+		return g.Traces[:o.TracesPerGroup]
+	}
+	return g.Traces
+}
+
+// groupTraces resolves a group by name and applies the cap.
+func (o Options) groupTraces(name string) []trace.Profile {
+	g, ok := trace.GroupByName(name)
+	if !ok {
+		panic("experiments: unknown group " + name)
+	}
+	return o.traces(g)
+}
+
+// run simulates one trace on one machine configuration.
+func (o Options) run(cfg ooo.Config, p trace.Profile) ooo.Stats {
+	cfg.WarmupUops = o.Warmup
+	e := ooo.NewEngine(cfg, trace.New(p))
+	return e.Run(o.Uops)
+}
+
+// baseConfig is the §3.1 machine with the given ordering scheme; CHT-based
+// schemes get the paper's reference predictor (2K-entry 4-way Full CHT with
+// 2-bit counters and distance tracking).
+func baseConfig(s memdep.Scheme) ooo.Config {
+	cfg := ooo.DefaultConfig()
+	cfg.Scheme = s
+	if s.UsesCHT() {
+		cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+	}
+	return cfg
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"loadsched/internal/hitmiss"
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+// Fig11Predictors are the HMP configurations of Figure 11, in display order.
+var Fig11Predictors = []string{"local", "chooser", "local+timing", "chooser+timing", "perfect"}
+
+// Fig11Groups are the figure's workloads.
+var Fig11Groups = []string{trace.GroupSpecInt95, trace.GroupSysmarkNT}
+
+// Fig11Cell is one (group, predictor) speedup over the no-HMP (always-hit)
+// machine.
+type Fig11Cell struct {
+	Group     string
+	Predictor string
+	Speedup   float64
+}
+
+// fig11Config builds the measurement machine of §4.2: the highest-performing
+// configuration — 4 general and 2 memory execution units with perfect
+// disambiguation — plus the requested hit-miss predictor.
+func fig11Config(predictor string) ooo.Config {
+	cfg := ooo.DefaultConfig()
+	cfg.Scheme = memdep.Perfect
+	cfg.IntUnits = 4
+	switch predictor {
+	case "none":
+	case "local":
+		cfg.HMP = hitmiss.NewLocal()
+	case "chooser":
+		cfg.HMP = hitmiss.NewChooser()
+	case "local+timing":
+		cfg.HMP = hitmiss.NewLocal()
+		cfg.UseTimingHMP = true
+	case "chooser+timing":
+		cfg.HMP = hitmiss.NewChooser()
+		cfg.UseTimingHMP = true
+	case "perfect":
+		cfg.HMP = &hitmiss.Perfect{}
+	default:
+		panic("experiments: unknown HMP " + predictor)
+	}
+	return cfg
+}
+
+// Fig11 reproduces Figure 11 (Speedup of Hit-Miss Prediction). The paper's
+// shape: a perfect HMP is worth ≈6% on this machine; the local predictor
+// with timing information achieves about 45% of that (≈2.5%); timing
+// information helps every predictor.
+func Fig11(o Options) []Fig11Cell {
+	var cells []Fig11Cell
+	for _, gname := range Fig11Groups {
+		traces := o.groupTraces(gname)
+		base := make([]float64, len(traces))
+		for i, p := range traces {
+			base[i] = o.run(fig11Config("none"), p).IPC()
+		}
+		for _, pred := range Fig11Predictors {
+			sp := make([]float64, len(traces))
+			for i, p := range traces {
+				sp[i] = o.run(fig11Config(pred), p).IPC() / base[i]
+			}
+			cells = append(cells, Fig11Cell{Group: gname, Predictor: pred, Speedup: stats.GeoMean(sp)})
+		}
+	}
+	return cells
+}
+
+// Fig11Table renders Figure 11.
+func Fig11Table(cells []Fig11Cell) stats.Table {
+	t := stats.Table{
+		Title:   "Figure 11 — Speedup of Hit-Miss Prediction (perfect disambiguation, EU4/MEM2)",
+		Note:    "speedup over the always-hit machine; paper: perfect ≈ 1.06, local+timing ≈ 1.025",
+		Columns: append([]string{"group"}, Fig11Predictors...),
+	}
+	byGroup := map[string]map[string]float64{}
+	for _, c := range cells {
+		if byGroup[c.Group] == nil {
+			byGroup[c.Group] = map[string]float64{}
+		}
+		byGroup[c.Group][c.Predictor] = c.Speedup
+	}
+	var avg []string
+	for _, g := range Fig11Groups {
+		row := []string{g}
+		for _, p := range Fig11Predictors {
+			row = append(row, stats.F3(byGroup[g][p]))
+		}
+		t.AddRow(row...)
+	}
+	avg = append(avg, "average")
+	for _, p := range Fig11Predictors {
+		var xs []float64
+		for _, g := range Fig11Groups {
+			xs = append(xs, byGroup[g][p])
+		}
+		avg = append(avg, stats.F3(stats.GeoMean(xs)))
+	}
+	t.AddRow(avg...)
+	return t
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+// MachineConfig is one execution-width point of Figure 8.
+type MachineConfig struct {
+	// IntUnits and MemUnits are the figure's EU# and MEM# labels.
+	IntUnits, MemUnits int
+}
+
+// Label renders the paper's "EU2 MEM1" style label.
+func (m MachineConfig) Label() string { return fmt.Sprintf("EU%d MEM%d", m.IntUnits, m.MemUnits) }
+
+// Fig8Machines are the three machine widths of Figure 8.
+var Fig8Machines = []MachineConfig{{2, 1}, {2, 2}, {4, 2}}
+
+// Fig8Groups are the figure's workload columns; "Other" pools Games, Java
+// and TPC as the paper does.
+var Fig8Groups = []string{trace.GroupSysmarkNT, trace.GroupSpecInt95, trace.GroupSysmark95, "Other"}
+
+// fig8Schemes are the bars of Figure 8 (Traditional is the baseline).
+var fig8Schemes = []memdep.Scheme{
+	memdep.Postponing, memdep.Opportunistic, memdep.Inclusive, memdep.Exclusive, memdep.Perfect,
+}
+
+// Fig8Cell is one (group, machine, scheme) speedup.
+type Fig8Cell struct {
+	Group   string
+	Machine MachineConfig
+	Scheme  memdep.Scheme
+	Speedup float64
+}
+
+// Fig8 reproduces Figure 8 (Speedup vs Machine Configuration): wider
+// machines gain more from better memory ordering; SysmarkNT and SpecInt
+// benefit most (8–17% in the paper), the Others less (5–10%).
+func Fig8(o Options) []Fig8Cell {
+	var cells []Fig8Cell
+	for _, gname := range Fig8Groups {
+		traces := fig8Traces(o, gname)
+		for _, m := range Fig8Machines {
+			mk := func(s memdep.Scheme) ooo.Config {
+				cfg := baseConfig(s)
+				cfg.IntUnits = m.IntUnits
+				cfg.MemUnits = m.MemUnits
+				return cfg
+			}
+			base := make([]float64, len(traces))
+			for i, p := range traces {
+				base[i] = o.run(mk(memdep.Traditional), p).IPC()
+			}
+			for _, s := range fig8Schemes {
+				sp := make([]float64, len(traces))
+				for i, p := range traces {
+					sp[i] = o.run(mk(s), p).IPC() / base[i]
+				}
+				cells = append(cells, Fig8Cell{
+					Group: gname, Machine: m, Scheme: s, Speedup: stats.GeoMean(sp),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// fig8Traces resolves the figure's group columns, pooling "Other".
+func fig8Traces(o Options, gname string) []trace.Profile {
+	if gname != "Other" {
+		return o.groupTraces(gname)
+	}
+	var out []trace.Profile
+	for _, g := range []string{trace.GroupGames, trace.GroupJava, trace.GroupTPC} {
+		out = append(out, o.groupTraces(g)...)
+	}
+	return out
+}
+
+// Fig8Table renders Figure 8.
+func Fig8Table(cells []Fig8Cell) stats.Table {
+	t := stats.Table{
+		Title: "Figure 8 — Speedup vs Machine Configuration",
+		Note:  "paper: wider machines gain more; NT/ISPEC 8-17%, Sys95/Other 5-10%",
+	}
+	t.Columns = []string{"group", "machine"}
+	for _, s := range fig8Schemes {
+		t.Columns = append(t.Columns, s.String())
+	}
+	type key struct {
+		g string
+		m MachineConfig
+	}
+	rows := map[key]map[memdep.Scheme]float64{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Group, c.Machine}
+		if rows[k] == nil {
+			rows[k] = map[memdep.Scheme]float64{}
+			order = append(order, k)
+		}
+		rows[k][c.Scheme] = c.Speedup
+	}
+	for _, k := range order {
+		row := []string{k.g, k.m.Label()}
+		for _, s := range fig8Schemes {
+			row = append(row, stats.F3(rows[k][s]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

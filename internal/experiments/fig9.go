@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+// Fig9Row is one CHT configuration's behavior on the SysmarkNT collision
+// stream: the four predicted/actual buckets as fractions of conflicting
+// loads (the figure's stacked bars) and of all loads (the values quoted in
+// the text, e.g. "2K Full-CHT: 3.4% ANC-PC and 0.9% AC-PNC").
+type Fig9Row struct {
+	// Kind is full / tagless / tagged / combined.
+	Kind string
+	// Entries is the table size swept.
+	Entries int
+	// Class tallies the four buckets; NotConflicting loads are excluded
+	// from the figure but tracked for the of-all-loads percentages.
+	Class memdep.Classification
+}
+
+// fig9Sweep defines the paper's size sweeps per organization.
+type fig9Sweep struct {
+	kind    string
+	entries []int
+	make    func(entries int) memdep.Predictor
+}
+
+func fig9Sweeps() []fig9Sweep {
+	return []fig9Sweep{
+		{"full", []int{128, 256, 512, 1024, 2048},
+			func(n int) memdep.Predictor { return memdep.NewFullCHT(n, 4, 2, true) }},
+		{"tagless", []int{2048, 4096, 8192, 16384, 32768},
+			func(n int) memdep.Predictor { return memdep.NewTaglessCHT(n, 1, false) }},
+		{"tagged", []int{128, 256, 512, 1024, 2048},
+			func(n int) memdep.Predictor { return memdep.NewImplicitCHT(n, 4, false) }},
+		{"combined", []int{128, 256, 512, 1024, 2048},
+			func(n int) memdep.Predictor { return memdep.NewCombinedCHT(n, 4, 4096, false) }},
+	}
+}
+
+// Fig9 reproduces Figure 9 (CHT Performance): each table organization and
+// size is fed the same collision stream — gathered from one simulator pass
+// per SysmarkNT trace — and classified into AC-PC / AC-PNC / ANC-PC /
+// ANC-PNC. The paper's shape: the Full CHT minimizes ANC-PC (it can unlearn);
+// the sticky tagged-only table minimizes AC-PNC at the cost of ANC-PC; the
+// combined table pushes AC-PNC lowest of all; the tagless table improves
+// steadily with size as aliasing fades.
+func Fig9(o Options) []Fig9Row {
+	type slot struct {
+		pred memdep.Predictor
+		row  *Fig9Row
+	}
+	var slots []slot
+	var rows []Fig9Row
+	for _, sw := range fig9Sweeps() {
+		for _, n := range sw.entries {
+			rows = append(rows, Fig9Row{Kind: sw.kind, Entries: n})
+		}
+	}
+	i := 0
+	for _, sw := range fig9Sweeps() {
+		for _, n := range sw.entries {
+			slots = append(slots, slot{pred: sw.make(n), row: &rows[i]})
+			i++
+		}
+	}
+
+	for _, p := range o.groupTraces(trace.GroupSysmarkNT) {
+		cfg := baseConfig(memdep.Traditional)
+		cfg.WarmupUops = o.Warmup
+		cfg.OnLoadRetire = func(ev ooo.LoadEvent) {
+			for _, s := range slots {
+				pred := s.pred.Lookup(ev.IP).Colliding
+				s.row.Class.Loads++
+				switch {
+				case !ev.Conflicting:
+					s.row.Class.NotConflicting++
+				case ev.Colliding && pred:
+					s.row.Class.ACPC++
+				case ev.Colliding && !pred:
+					s.row.Class.ACPNC++
+				case !ev.Colliding && pred:
+					s.row.Class.ANCPC++
+				default:
+					s.row.Class.ANCPNC++
+				}
+				s.pred.Record(ev.IP, ev.Colliding, ev.Distance)
+			}
+		}
+		e := ooo.NewEngine(cfg, trace.New(p))
+		e.Run(o.Uops)
+	}
+	return rows
+}
+
+// Fig9Table renders Figure 9 (fractions of conflicting loads, as the
+// figure's y-axis) plus the of-all-loads numbers the text quotes.
+func Fig9Table(rows []Fig9Row) stats.Table {
+	t := stats.Table{
+		Title: "Figure 9 — CHT Performance (SysmarkNT)",
+		Note:  "bucket shares of conflicting loads; (all) columns are % of all loads as quoted in §4.1",
+		Columns: []string{"CHT", "entries", "AC-PC", "AC-PNC", "ANC-PC", "ANC-PNC",
+			"ANC-PC(all)", "AC-PNC(all)"},
+	}
+	for _, r := range rows {
+		c := r.Class
+		t.AddRow(r.Kind, fmt.Sprintf("%d", r.Entries),
+			stats.Pct(c.FracOfConflicting(c.ACPC)),
+			stats.Pct(c.FracOfConflicting(c.ACPNC)),
+			stats.Pct(c.FracOfConflicting(c.ANCPC)),
+			stats.Pct(c.FracOfConflicting(c.ANCPNC)),
+			stats.Pct2(c.FracOfLoads(c.ANCPC)),
+			stats.Pct2(c.FracOfLoads(c.ACPNC)))
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"loadsched/internal/bankpred"
+	"loadsched/internal/cache"
+	"loadsched/internal/predict"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+	"loadsched/internal/uop"
+)
+
+// BankPolicyRow is one §2.3 combination policy's statistical result.
+type BankPolicyRow struct {
+	Policy string
+	Stats  bankpred.Stats
+}
+
+// BankPolicies evaluates the four vote-combination policies §2.3 lists for
+// merging the component bank predictors ("the prediction was a simple
+// majority vote", "a weight was assigned to each predictor ... only if this
+// sum exceeded a predefined threshold", "only those predictions with a high
+// confidence were taken into account", "a different weight was assigned
+// according to the confidence level"), over the SpecInt95 load stream.
+func BankPolicies(o Options) []BankPolicyRow {
+	banking := cache.DefaultBanking()
+	mk := func(policy predict.Policy, threshold, minConf int) *predict.Combined {
+		return &predict.Combined{
+			Components: []predict.Binary{
+				predict.NewLocal(9, 8, 3),
+				predict.NewGShare(11, 11, 3),
+				predict.NewGSkew(10, 17, 3),
+			},
+			Policy:        policy,
+			Threshold:     threshold,
+			MinConfidence: minConf,
+		}
+	}
+	configs := []struct {
+		name string
+		comb *predict.Combined
+	}{
+		{"majority", mk(predict.Majority, 0, 0)},
+		{"weighted-sum", mk(predict.WeightedSum, 2, 0)},
+		{"high-confidence", mk(predict.HighConfidence, 0, 2)},
+		{"confidence-weighted", mk(predict.ConfidenceWeighted, 8, 0)},
+	}
+	tallies := make([]bankpred.Stats, len(configs))
+	for _, p := range o.groupTraces(trace.GroupSpecInt95) {
+		g := trace.New(p)
+		total := o.Warmup + o.Uops
+		for i := 0; i < total; i++ {
+			u := g.Next()
+			if u.Kind != uop.Load {
+				continue
+			}
+			actual := banking.BankOf(u.Addr) == 1
+			for j, c := range configs {
+				r := c.comb.PredictRated(u.IP)
+				if i >= o.Warmup {
+					tallies[j].Record(r.Predicted, r.Predicted && r.Taken == actual)
+				}
+				c.comb.Update(u.IP, actual)
+			}
+		}
+		for _, c := range configs {
+			c.comb.Reset()
+		}
+	}
+	rows := make([]BankPolicyRow, len(configs))
+	for i, c := range configs {
+		rows[i] = BankPolicyRow{Policy: c.name, Stats: tallies[i]}
+	}
+	return rows
+}
+
+// BankPoliciesTable renders the policy comparison.
+func BankPoliciesTable(rows []BankPolicyRow) stats.Table {
+	t := stats.Table{
+		Title:   "§2.3 combination policies for bank prediction (SpecInt95)",
+		Note:    "rate/accuracy trade-off of the four vote-merging rules the paper lists",
+		Columns: []string{"policy", "rate", "accuracy", "metric p=0", "p=5", "p=10"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy, stats.Pct(r.Stats.Rate()), stats.Pct(r.Stats.Accuracy()),
+			stats.F2(r.Stats.Metric(0)), stats.F2(r.Stats.Metric(5)), stats.F2(r.Stats.Metric(10)))
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package memdep
+
+import "fmt"
+
+// StoreBarrier is the Store Barrier Cache of Hesson, LeBlanc and Ciavaglia
+// [Hess95], the industrial prior art the paper positions the CHT against
+// ("our mechanism is in a sense similar to [Hess95] yet more refined, since
+// it deals with specific loads").
+//
+// The original predicts on the *store* side: each store that caused an
+// ordering violation increments a saturating counter; when a store with a
+// set counter is fetched, all following loads are delayed until the store
+// executes. Because the barrier is keyed by store IP rather than load IP,
+// one misbehaving store penalizes every load behind it — the imprecision
+// the CHT removes.
+//
+// BarrierScheduler adapts the idea to this simulator's scheduling
+// interface: the engine consults ShouldBarrier for each renamed store and,
+// while any barriered store is in flight, holds all younger loads (see
+// ooo.Config.Barrier).
+type StoreBarrier struct {
+	entries  int
+	counters []uint8
+	// Threshold is the counter value at which a store becomes a barrier.
+	Threshold uint8
+	// Max saturates the counter.
+	Max uint8
+}
+
+// NewStoreBarrier builds a barrier cache with 2^k entries.
+func NewStoreBarrier(entries int) *StoreBarrier {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("memdep: barrier entries %d not a power of two", entries))
+	}
+	return &StoreBarrier{
+		entries:   entries,
+		counters:  make([]uint8, entries),
+		Threshold: 2,
+		Max:       3,
+	}
+}
+
+func (b *StoreBarrier) index(storeIP uint64) int { return int((storeIP >> 2) % uint64(b.entries)) }
+
+// ShouldBarrier reports whether the store at storeIP must act as a barrier
+// (all following loads wait until it completes).
+func (b *StoreBarrier) ShouldBarrier(storeIP uint64) bool {
+	return b.counters[b.index(storeIP)] >= b.Threshold
+}
+
+// RecordViolation bumps the store's counter after it participated in an
+// ordering violation.
+func (b *StoreBarrier) RecordViolation(storeIP uint64) {
+	i := b.index(storeIP)
+	if b.counters[i] < b.Max {
+		b.counters[i]++
+	}
+}
+
+// RecordClean decays the store's counter after a violation-free execution,
+// as [Hess95] does ("if the store did not cause a violation the counter is
+// decremented").
+func (b *StoreBarrier) RecordClean(storeIP uint64) {
+	i := b.index(storeIP)
+	if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+}
+
+// Reset clears all counters.
+func (b *StoreBarrier) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 0
+	}
+}
+
+// Name identifies the configuration.
+func (b *StoreBarrier) Name() string { return fmt.Sprintf("store-barrier-%d", b.entries) }

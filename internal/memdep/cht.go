@@ -1,0 +1,345 @@
+package memdep
+
+import (
+	"fmt"
+
+	"loadsched/internal/predict"
+)
+
+// chtEntry is one way of a tagged CHT set.
+type chtEntry struct {
+	tag      uint64
+	valid    bool
+	lru      uint64
+	counter  predict.SatCounter
+	distance int
+}
+
+// tagTable is the shared set-associative, LRU-replaced table under the
+// tagged CHT variants. It is indexed by load instruction-pointer bits, as
+// the paper's tables are.
+type tagTable struct {
+	sets [][]chtEntry
+	ways int
+	tick uint64
+}
+
+func newTagTable(entries, ways int) *tagTable {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("memdep: bad table geometry entries=%d ways=%d", entries, ways))
+	}
+	numSets := entries / ways
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("memdep: set count %d not a power of two", numSets))
+	}
+	t := &tagTable{ways: ways}
+	t.sets = make([][]chtEntry, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]chtEntry, ways)
+	}
+	return t
+}
+
+func (t *tagTable) index(ip uint64) (set, tag uint64) {
+	v := ip >> 2 // uops are 4-byte aligned in the synthetic ISA
+	return v % uint64(len(t.sets)), v / uint64(len(t.sets))
+}
+
+// find returns the entry for ip or nil, refreshing LRU on touch.
+func (t *tagTable) find(ip uint64, touch bool) *chtEntry {
+	set, tag := t.index(ip)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.tag == tag {
+			if touch {
+				t.tick++
+				e.lru = t.tick
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// allocate returns ip's entry, creating it (evicting LRU) if absent.
+func (t *tagTable) allocate(ip uint64) *chtEntry {
+	if e := t.find(ip, true); e != nil {
+		return e
+	}
+	set, tag := t.index(ip)
+	victim := 0
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < t.sets[set][victim].lru {
+			victim = i
+		}
+	}
+	t.tick++
+	t.sets[set][victim] = chtEntry{tag: tag, valid: true, lru: t.tick}
+	return &t.sets[set][victim]
+}
+
+func (t *tagTable) clear() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = chtEntry{}
+		}
+	}
+}
+
+// mergeDistance folds a newly observed collision distance into an entry,
+// converging on the minimal safe distance as §2.1 describes.
+func mergeDistance(cur, observed int) int {
+	if observed == NoDistance {
+		return cur
+	}
+	if cur == NoDistance || observed < cur {
+		return observed
+	}
+	return cur
+}
+
+// FullCHT is the Full CHT of Figure 2: tagged, a saturating-counter
+// collision predictor per entry, and optionally a collision distance. A new
+// entry is allocated only when a load actually collides for the first time
+// (the allocation policy §2.1 suggests), so the table holds colliding and
+// formerly-colliding loads.
+type FullCHT struct {
+	table         *tagTable
+	entries, ways int
+	counterBits   uint
+	trackDistance bool
+}
+
+// NewFullCHT builds a Full CHT. The paper's reference configuration is 2K
+// entries, 4-way, 2-bit counters.
+func NewFullCHT(entries, ways int, counterBits uint, trackDistance bool) *FullCHT {
+	return &FullCHT{
+		table: newTagTable(entries, ways), entries: entries, ways: ways,
+		counterBits: counterBits, trackDistance: trackDistance,
+	}
+}
+
+// Lookup implements Predictor. A load absent from the table is predicted
+// non-colliding (the default for never-colliding loads).
+func (c *FullCHT) Lookup(ip uint64) Prediction {
+	e := c.table.find(ip, false)
+	if e == nil {
+		return Prediction{}
+	}
+	p := Prediction{Colliding: e.counter.Taken()}
+	if p.Colliding && c.trackDistance {
+		p.Distance = e.distance
+	}
+	return p
+}
+
+// Record implements Predictor: allocation only on an actual collision,
+// counter training on every retire of a resident load.
+func (c *FullCHT) Record(ip uint64, collided bool, distance int) {
+	e := c.table.find(ip, true)
+	if e == nil {
+		if !collided {
+			return
+		}
+		e = c.table.allocate(ip)
+		e.counter = predict.NewSatCounter(c.counterBits)
+	}
+	e.counter.Train(collided)
+	if collided && c.trackDistance {
+		e.distance = mergeDistance(e.distance, distance)
+	}
+}
+
+// Reset implements Predictor.
+func (c *FullCHT) Reset() { c.table.clear() }
+
+// Name implements Predictor.
+func (c *FullCHT) Name() string { return fmt.Sprintf("full-%d", c.entries) }
+
+// ImplicitCHT is the Implicit-predictor CHT: tag-only and sticky. Presence
+// in the table *is* the colliding prediction, so the predictor costs zero
+// state bits beyond the tags. Once a load collides it stays predicted
+// colliding until its entry is replaced (or the table is cyclically cleared,
+// the [Chry98] remedy available through ClearInterval).
+type ImplicitCHT struct {
+	table         *tagTable
+	entries, ways int
+	trackDistance bool
+
+	// ClearInterval, when positive, clears the whole table every that many
+	// Record calls, letting loads whose behavior changed become
+	// non-colliding again.
+	ClearInterval int
+	records       int
+}
+
+// NewImplicitCHT builds a tag-only sticky CHT.
+func NewImplicitCHT(entries, ways int, trackDistance bool) *ImplicitCHT {
+	return &ImplicitCHT{table: newTagTable(entries, ways), entries: entries, ways: ways, trackDistance: trackDistance}
+}
+
+// Lookup implements Predictor: a tag match means colliding.
+func (c *ImplicitCHT) Lookup(ip uint64) Prediction {
+	e := c.table.find(ip, false)
+	if e == nil {
+		return Prediction{}
+	}
+	p := Prediction{Colliding: true}
+	if c.trackDistance {
+		p.Distance = e.distance
+	}
+	return p
+}
+
+// Record implements Predictor: colliding loads allocate (sticky); retires of
+// non-colliding loads leave the table untouched.
+func (c *ImplicitCHT) Record(ip uint64, collided bool, distance int) {
+	c.records++
+	if c.ClearInterval > 0 && c.records%c.ClearInterval == 0 {
+		c.table.clear()
+	}
+	if !collided {
+		return
+	}
+	e := c.table.allocate(ip)
+	if c.trackDistance {
+		e.distance = mergeDistance(e.distance, distance)
+	}
+}
+
+// Reset implements Predictor.
+func (c *ImplicitCHT) Reset() { c.table.clear(); c.records = 0 }
+
+// Name implements Predictor.
+func (c *ImplicitCHT) Name() string { return fmt.Sprintf("tagged-%d", c.entries) }
+
+// TaglessCHT is the tagless, direct-mapped CHT: an array of 1-bit counters
+// indexed by instruction-pointer bits. Its tiny entries buy many entries but
+// suffer aliasing between loads that share an index.
+type TaglessCHT struct {
+	counters      []predict.SatCounter
+	distances     []int
+	entries       int
+	counterBits   uint
+	trackDistance bool
+}
+
+// NewTaglessCHT builds a tagless CHT with the given (power-of-two) entry
+// count; the paper sweeps 2K–32K 1-bit entries.
+func NewTaglessCHT(entries int, counterBits uint, trackDistance bool) *TaglessCHT {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("memdep: tagless entries %d not a power of two", entries))
+	}
+	c := &TaglessCHT{entries: entries, counterBits: counterBits, trackDistance: trackDistance}
+	c.Reset()
+	return c
+}
+
+func (c *TaglessCHT) index(ip uint64) uint64 { return (ip >> 2) % uint64(c.entries) }
+
+// Lookup implements Predictor.
+func (c *TaglessCHT) Lookup(ip uint64) Prediction {
+	i := c.index(ip)
+	p := Prediction{Colliding: c.counters[i].Taken()}
+	if p.Colliding && c.trackDistance {
+		p.Distance = c.distances[i]
+	}
+	return p
+}
+
+// Record implements Predictor.
+func (c *TaglessCHT) Record(ip uint64, collided bool, distance int) {
+	i := c.index(ip)
+	c.counters[i].Train(collided)
+	if collided && c.trackDistance {
+		c.distances[i] = mergeDistance(c.distances[i], distance)
+	}
+}
+
+// Reset implements Predictor.
+func (c *TaglessCHT) Reset() {
+	c.counters = make([]predict.SatCounter, c.entries)
+	for i := range c.counters {
+		c.counters[i] = predict.NewSatCounter(c.counterBits)
+	}
+	c.distances = make([]int, c.entries)
+}
+
+// Name implements Predictor.
+func (c *TaglessCHT) Name() string { return fmt.Sprintf("tagless-%d", c.entries) }
+
+// CombinedCHT couples an Implicit-predictor CHT with a Tagless CHT ("best of
+// both worlds", §2.1): a load is predicted non-colliding only when there is
+// no tag match AND the tagless state is non-colliding. This maximizes AC-PC
+// at the cost of more ANC-PC.
+type CombinedCHT struct {
+	tagged  *ImplicitCHT
+	tagless *TaglessCHT
+}
+
+// NewCombinedCHT builds the combination; the paper pairs the swept
+// tagged-only sizes with a fixed 4K-entry tagless table.
+func NewCombinedCHT(taggedEntries, ways, taglessEntries int, trackDistance bool) *CombinedCHT {
+	return &CombinedCHT{
+		tagged:  NewImplicitCHT(taggedEntries, ways, trackDistance),
+		tagless: NewTaglessCHT(taglessEntries, 1, trackDistance),
+	}
+}
+
+// Lookup implements Predictor.
+func (c *CombinedCHT) Lookup(ip uint64) Prediction {
+	pt := c.tagged.Lookup(ip)
+	if pt.Colliding {
+		return pt
+	}
+	return c.tagless.Lookup(ip)
+}
+
+// Record implements Predictor.
+func (c *CombinedCHT) Record(ip uint64, collided bool, distance int) {
+	c.tagged.Record(ip, collided, distance)
+	c.tagless.Record(ip, collided, distance)
+}
+
+// Reset implements Predictor.
+func (c *CombinedCHT) Reset() { c.tagged.Reset(); c.tagless.Reset() }
+
+// Name implements Predictor.
+func (c *CombinedCHT) Name() string { return fmt.Sprintf("combined-%d", c.tagged.entries) }
+
+// AlwaysColliding predicts every load colliding; with the Inclusive scheme
+// it degenerates to waiting for all stores, a useful lower-bound baseline.
+type AlwaysColliding struct{}
+
+// Lookup implements Predictor.
+func (AlwaysColliding) Lookup(uint64) Prediction { return Prediction{Colliding: true} }
+
+// Record implements Predictor.
+func (AlwaysColliding) Record(uint64, bool, int) {}
+
+// Reset implements Predictor.
+func (AlwaysColliding) Reset() {}
+
+// Name implements Predictor.
+func (AlwaysColliding) Name() string { return "always-colliding" }
+
+// NeverColliding predicts every load non-colliding; with the Inclusive
+// scheme it reproduces the Opportunistic scheme.
+type NeverColliding struct{}
+
+// Lookup implements Predictor.
+func (NeverColliding) Lookup(uint64) Prediction { return Prediction{} }
+
+// Record implements Predictor.
+func (NeverColliding) Record(uint64, bool, int) {}
+
+// Reset implements Predictor.
+func (NeverColliding) Reset() {}
+
+// Name implements Predictor.
+func (NeverColliding) Name() string { return "never-colliding" }

@@ -1,0 +1,78 @@
+package memdep
+
+import "fmt"
+
+// StoreSets is a simplified store-set predictor in the spirit of Chrysos and
+// Emer [Chry98], included as the comparison baseline the paper positions its
+// CHT against ("similar to [Chry98] but much more cost effective").
+//
+// Two tables: the SSIT (store-set ID table) maps instruction pointers — of
+// both loads and stores — to a store-set ID; the LFST-like side here is
+// reduced to what the paper's framework needs, a per-load colliding
+// prediction plus a distance. A load whose IP maps to a valid store set is
+// predicted colliding; its distance converges like the CHT's. Memory
+// violations assign the load and its store to a common set (store-set
+// merging is approximated by always steering toward the lower set ID, as in
+// the original).
+//
+// Within this repository's simulator the scheduler consumes only the
+// Predictor interface, so StoreSets plugs into the Inclusive/Exclusive
+// schemes exactly like a CHT — which is also how the paper frames the
+// comparison: same scheduling mechanism, different (and more expensive)
+// prediction structure.
+type StoreSets struct {
+	ssit     []int32 // IP-indexed store-set IDs; -1 = none
+	distance []int
+	entries  int
+	nextSet  int32
+}
+
+// NewStoreSets builds a store-set predictor with 2^k SSIT entries.
+func NewStoreSets(entries int) *StoreSets {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("memdep: storesets entries %d not a power of two", entries))
+	}
+	s := &StoreSets{entries: entries}
+	s.Reset()
+	return s
+}
+
+func (s *StoreSets) index(ip uint64) int { return int((ip >> 2) % uint64(s.entries)) }
+
+// Lookup implements Predictor.
+func (s *StoreSets) Lookup(ip uint64) Prediction {
+	i := s.index(ip)
+	if s.ssit[i] < 0 {
+		return Prediction{}
+	}
+	return Prediction{Colliding: true, Distance: s.distance[i]}
+}
+
+// Record implements Predictor. A collision allocates (or keeps) the load's
+// store set; the observed distance converges to the minimum. Non-colliding
+// retires leave the SSIT untouched (store sets are cleared cyclically in the
+// original; callers can Reset periodically for the same effect).
+func (s *StoreSets) Record(ip uint64, collided bool, distance int) {
+	if !collided {
+		return
+	}
+	i := s.index(ip)
+	if s.ssit[i] < 0 {
+		s.ssit[i] = s.nextSet
+		s.nextSet++
+	}
+	s.distance[i] = mergeDistance(s.distance[i], distance)
+}
+
+// Reset implements Predictor.
+func (s *StoreSets) Reset() {
+	s.ssit = make([]int32, s.entries)
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	s.distance = make([]int, s.entries)
+	s.nextSet = 0
+}
+
+// Name implements Predictor.
+func (s *StoreSets) Name() string { return fmt.Sprintf("storesets-%d", s.entries) }

@@ -1,0 +1,67 @@
+package memdep
+
+import "testing"
+
+func TestStoreSetsDefaultsNonColliding(t *testing.T) {
+	s := NewStoreSets(1024)
+	if s.Lookup(0x400100).Colliding {
+		t.Fatal("empty SSIT must predict non-colliding")
+	}
+}
+
+func TestStoreSetsLearnsAndKeepsDistance(t *testing.T) {
+	s := NewStoreSets(1024)
+	s.Record(0x400100, true, 5)
+	p := s.Lookup(0x400100)
+	if !p.Colliding || p.Distance != 5 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	s.Record(0x400100, true, 2)
+	s.Record(0x400100, true, 9)
+	if d := s.Lookup(0x400100).Distance; d != 2 {
+		t.Fatalf("distance = %d, want minimum 2", d)
+	}
+}
+
+func TestStoreSetsSticky(t *testing.T) {
+	s := NewStoreSets(1024)
+	s.Record(0x400100, true, 1)
+	for i := 0; i < 50; i++ {
+		s.Record(0x400100, false, NoDistance)
+	}
+	if !s.Lookup(0x400100).Colliding {
+		t.Fatal("store-set membership is sticky until cleared")
+	}
+	s.Reset()
+	if s.Lookup(0x400100).Colliding {
+		t.Fatal("Reset must clear sets")
+	}
+}
+
+func TestStoreSetsDistinctSets(t *testing.T) {
+	s := NewStoreSets(1024)
+	s.Record(0x400100, true, 1)
+	s.Record(0x400200, true, 1)
+	if s.ssit[s.index(0x400100)] == s.ssit[s.index(0x400200)] {
+		t.Fatal("independent loads should get distinct set IDs")
+	}
+}
+
+func TestStoreSetsAliasing(t *testing.T) {
+	s := NewStoreSets(16)
+	a := uint64(0x40)     // index 16
+	b := a + uint64(16*4) // same index mod 16
+	s.Record(a, true, 3)
+	if !s.Lookup(b).Colliding {
+		t.Fatal("aliased IPs share an SSIT entry")
+	}
+}
+
+func TestStoreSetsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStoreSets(100)
+}

@@ -1,0 +1,168 @@
+package ooo
+
+import (
+	"loadsched/internal/bankpred"
+	"loadsched/internal/cache"
+)
+
+// BankPolicy selects how the engine models the multi-banked L1 and uses the
+// bank predictor. The paper evaluates bank prediction statistically (§4.3);
+// these policies are the end-to-end integration DESIGN.md lists as an
+// extension, letting the conventional / predictor-scheduled / sliced
+// organizations of Figure 4 be compared in one machine.
+type BankPolicy int
+
+const (
+	// BankOff models an ideal (truly multi-ported) cache: no conflicts.
+	BankOff BankPolicy = iota
+	// BankConventional models a multi-banked cache without prediction:
+	// same-cycle same-bank loads serialize, costing a stall cycle.
+	BankConventional
+	// BankPredictive uses the bank predictor for scheduling only: loads
+	// predicted to hit a bank already claimed this cycle are held back;
+	// conflicts still cost a stall when the prediction was wrong or absent.
+	BankPredictive
+	// BankSliced models the sliced pipeline: predicted loads go to a single
+	// bank pipe (a wrong bank costs a flush and re-execution); unpredicted
+	// loads are duplicated to all pipes and need every bank free.
+	BankSliced
+	// BankDualScheduled models the dual-scheduling designs of
+	// [Simo95]/[Hunt95] (Figure 4): after address generation every load
+	// enters a second-level scheduler that assigns banks conflict-free, at
+	// the cost of a fixed extra latency on every load. It needs no
+	// predictor — it is the complexity the sliced pipe avoids.
+	BankDualScheduled
+)
+
+// String names the policy.
+func (p BankPolicy) String() string {
+	switch p {
+	case BankOff:
+		return "ideal"
+	case BankConventional:
+		return "conventional"
+	case BankPredictive:
+		return "predict-sched"
+	case BankSliced:
+		return "sliced"
+	case BankDualScheduled:
+		return "dual-scheduled"
+	default:
+		return "bank-policy(?)"
+	}
+}
+
+// bankState is the engine's per-cycle banked-cache bookkeeping.
+type bankState struct {
+	policy  BankPolicy
+	banking cache.Banking
+	pred    bankpred.Predictor
+	// uses counts accesses per bank in the current cycle.
+	uses []int
+}
+
+func newBankState(cfg Config) *bankState {
+	b := &bankState{policy: cfg.BankPolicy, banking: cfg.Banking, pred: cfg.BankPredictor}
+	if b.policy != BankOff {
+		if b.banking.Banks == 0 {
+			b.banking = cache.DefaultBanking()
+		}
+		b.uses = make([]int, b.banking.Banks)
+	}
+	return b
+}
+
+func (b *bankState) begin() {
+	for i := range b.uses {
+		b.uses[i] = 0
+	}
+}
+
+// admit decides whether a ready load may dispatch this cycle under the bank
+// policy, and records any conflict/mispredict delay in en.bankDelay.
+func (b *bankState) admit(e *Engine, en *entry) bool {
+	en.bankDelay = 0
+	if b.policy == BankOff {
+		return true
+	}
+	real := b.banking.BankOf(en.u.Addr)
+	switch b.policy {
+	case BankDualScheduled:
+		// The second-level scheduler eliminates conflicts but adds its own
+		// pipeline stage(s) to every load.
+		en.bankDelay = int64(e.cfg.BankDualSchedLatency)
+		return true
+
+	case BankConventional:
+		if b.uses[real] > 0 {
+			// The bank is taken this cycle: the access stalls and retries —
+			// a lost scheduling slot, the cost bank prediction removes.
+			e.stats.BankConflicts++
+			return false
+		}
+		b.uses[real]++
+		return true
+
+	case BankPredictive:
+		predBank, ok := -1, false
+		if b.pred != nil {
+			predBank, ok = b.pred.Predict(en.u.IP)
+		}
+		if ok && b.uses[predBank] > 0 {
+			// The scheduler believes this bank is taken: hold the load
+			// without burning the slot (prediction-guided scheduling).
+			return false
+		}
+		if b.uses[real] > 0 {
+			// Unpredicted (or mispredicted) conflict: stall as conventional.
+			e.stats.BankConflicts++
+			if ok && predBank != real {
+				e.stats.BankMispredicts++
+			}
+			return false
+		}
+		b.uses[real]++
+		return true
+
+	default: // BankSliced
+		predBank, ok := -1, false
+		if b.pred != nil {
+			predBank, ok = b.pred.Predict(en.u.IP)
+		}
+		if !ok {
+			// Duplicate to all pipes: every bank must be free.
+			for _, u := range b.uses {
+				if u > 0 {
+					return false
+				}
+			}
+			for i := range b.uses {
+				b.uses[i]++
+			}
+			e.stats.BankDuplicates++
+			return true
+		}
+		if b.uses[predBank] > 0 {
+			return false // the predicted pipe is busy this cycle
+		}
+		b.uses[predBank]++
+		if predBank != real {
+			// Wrong pipe: the load is flushed and re-executed.
+			en.bankDelay = int64(e.cfg.BankMispredictPenalty)
+			e.stats.BankMispredicts++
+		}
+		return true
+	}
+}
+
+// train updates the bank predictor with a retired load's actual bank.
+func (b *bankState) train(en *entry) {
+	if b.policy == BankOff || b.pred == nil {
+		return
+	}
+	if ab, ok := b.pred.(*bankpred.AddrBank); ok {
+		ab.UpdateAddr(en.u.IP, en.u.Addr)
+		return
+	}
+	b.pred.Update(en.u.IP, b.banking.BankOf(en.u.Addr))
+}

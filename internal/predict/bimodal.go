@@ -1,0 +1,42 @@
+package predict
+
+// Bimodal is the classic per-address table of saturating counters, indexed by
+// a hash of the key with no history. It is the simplest component predictor
+// the paper combines into bank predictor B.
+type Bimodal struct {
+	table       []SatCounter
+	indexBits   uint
+	counterBits uint
+}
+
+// NewBimodal returns a bimodal predictor with 2^indexBits counters of
+// counterBits each.
+func NewBimodal(indexBits, counterBits uint) *Bimodal {
+	b := &Bimodal{indexBits: indexBits, counterBits: counterBits}
+	b.Reset()
+	return b
+}
+
+func (b *Bimodal) index(key uint64) uint64 { return hashIP(key) & mask(b.indexBits) }
+
+// Predict implements Binary.
+func (b *Bimodal) Predict(key uint64) Prediction {
+	c := b.table[b.index(key)]
+	return Prediction{Taken: c.Taken(), Confidence: c.Confidence()}
+}
+
+// Update implements Binary.
+func (b *Bimodal) Update(key uint64, outcome bool) {
+	b.table[b.index(key)].Train(outcome)
+}
+
+// Reset implements Binary.
+func (b *Bimodal) Reset() {
+	b.table = make([]SatCounter, 1<<b.indexBits)
+	for i := range b.table {
+		b.table[i] = NewSatCounter(b.counterBits)
+	}
+}
+
+// Size returns the number of table entries.
+func (b *Bimodal) Size() int { return len(b.table) }

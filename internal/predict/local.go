@@ -1,0 +1,78 @@
+package predict
+
+// Local is the two-level local-history predictor adapted in the paper for
+// hit-miss prediction ("instead of recording the taken/not-taken history of
+// each branch, we record the hit/miss history of each load"). Level one is a
+// tagless table of per-address history registers; level two is a pattern
+// table of saturating counters indexed by the history value.
+type Local struct {
+	histories   []uint64
+	pattern     []SatCounter
+	indexBits   uint
+	historyLen  uint
+	counterBits uint
+	initValue   uint8
+	biased      bool
+}
+
+// NewLocal returns a local predictor with 2^indexBits history registers of
+// historyLen bits each, and a 2^historyLen-entry pattern table of
+// counterBits-bit counters. The paper's HMP uses indexBits=11 (2048 entries)
+// and historyLen=8 (~2KB).
+func NewLocal(indexBits, historyLen, counterBits uint) *Local {
+	if historyLen == 0 || historyLen > 24 {
+		panic("predict: local history length out of range")
+	}
+	l := &Local{indexBits: indexBits, historyLen: historyLen, counterBits: counterBits}
+	l.Reset()
+	return l
+}
+
+func (l *Local) index(key uint64) uint64 { return hashIP(key) & mask(l.indexBits) }
+
+// Predict implements Binary.
+func (l *Local) Predict(key uint64) Prediction {
+	h := l.histories[l.index(key)]
+	c := l.pattern[h]
+	return Prediction{Taken: c.Taken(), Confidence: c.Confidence()}
+}
+
+// Update implements Binary.
+func (l *Local) Update(key uint64, outcome bool) {
+	i := l.index(key)
+	h := l.histories[i]
+	l.pattern[h].Train(outcome)
+	h = (h << 1) & mask(l.historyLen)
+	if outcome {
+		h |= 1
+	}
+	l.histories[i] = h
+}
+
+// WithInit sets the initial pattern-counter value and re-initializes the
+// predictor. Rare-event adapters (e.g. hit-miss prediction, where a "taken"
+// outcome is a cache miss) initialize at 0 (strongly not-taken) so that a
+// single stray outcome in a shared pattern entry does not flip predictions
+// for every load whose history maps there.
+func (l *Local) WithInit(v uint8) *Local {
+	l.initValue = v
+	l.biased = true
+	l.Reset()
+	return l
+}
+
+// Reset implements Binary.
+func (l *Local) Reset() {
+	l.histories = make([]uint64, 1<<l.indexBits)
+	l.pattern = make([]SatCounter, 1<<l.historyLen)
+	for i := range l.pattern {
+		c := NewSatCounter(l.counterBits)
+		if l.biased {
+			c.value = l.initValue
+		}
+		l.pattern[i] = c
+	}
+}
+
+// Size returns the number of level-one entries.
+func (l *Local) Size() int { return len(l.histories) }

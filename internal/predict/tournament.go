@@ -1,0 +1,56 @@
+package predict
+
+// Tournament is McFarling's combining predictor ([Mcfa93], cited by the
+// paper): two component predictors plus a per-key table of 2-bit chooser
+// counters that learns which component to trust for each key. Where the
+// paper's hybrid HMP votes by majority, the tournament *selects* — useful
+// when one component dominates for some loads and the other elsewhere.
+type Tournament struct {
+	a, b      Binary
+	chooser   []SatCounter
+	indexBits uint
+}
+
+// NewTournament builds a tournament of a and b with 2^indexBits chooser
+// counters. The chooser predicts "use B" when its counter is high.
+func NewTournament(a, b Binary, indexBits uint) *Tournament {
+	t := &Tournament{a: a, b: b, indexBits: indexBits}
+	t.resetChooser()
+	return t
+}
+
+func (t *Tournament) resetChooser() {
+	t.chooser = make([]SatCounter, 1<<t.indexBits)
+	for i := range t.chooser {
+		t.chooser[i] = NewSatCounter(2)
+	}
+}
+
+func (t *Tournament) index(key uint64) uint64 { return hashIP(key) & mask(t.indexBits) }
+
+// Predict implements Binary.
+func (t *Tournament) Predict(key uint64) Prediction {
+	if t.chooser[t.index(key)].Taken() {
+		return t.b.Predict(key)
+	}
+	return t.a.Predict(key)
+}
+
+// Update implements Binary: both components train; the chooser moves toward
+// whichever component was right when exactly one of them was.
+func (t *Tournament) Update(key uint64, outcome bool) {
+	pa := t.a.Predict(key).Taken == outcome
+	pb := t.b.Predict(key).Taken == outcome
+	if pa != pb {
+		t.chooser[t.index(key)].Train(pb)
+	}
+	t.a.Update(key, outcome)
+	t.b.Update(key, outcome)
+}
+
+// Reset implements Binary.
+func (t *Tournament) Reset() {
+	t.a.Reset()
+	t.b.Reset()
+	t.resetChooser()
+}

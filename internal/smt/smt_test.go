@@ -1,0 +1,102 @@
+package smt
+
+import (
+	"testing"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// missHeavy returns TPC profiles — large irregular working sets with many
+// memory-level misses, the workload §2.2's thread-switching idea targets.
+func missHeavy(n int) []trace.Profile {
+	g, _ := trace.GroupByName(trace.GroupTPC)
+	var out []trace.Profile
+	for i := 0; i < n; i++ {
+		p := g.Traces[i%len(g.Traces)]
+		p.Seed += int64(i) * 1237 // distinct streams per thread
+		out = append(out, p)
+	}
+	return out
+}
+
+func engineCfg() *ooo.Config {
+	cfg := ooo.DefaultConfig()
+	cfg.Scheme = memdep.Perfect
+	return &cfg
+}
+
+func TestSingleThreadMatchesEngine(t *testing.T) {
+	ps := missHeavy(1)
+	m := New(Config{Threads: ps, Engine: engineCfg()})
+	res := m.Run(40000)
+	if res.Switches != 0 {
+		t.Fatalf("one thread cannot switch, got %d", res.Switches)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestTwoThreadsHideMemoryLatency(t *testing.T) {
+	single := New(Config{Threads: missHeavy(1), Engine: engineCfg(), UseLevelHMP: true}).Run(40000)
+	dual := New(Config{Threads: missHeavy(2), Engine: engineCfg(), UseLevelHMP: true}).Run(40000)
+	if dual.Switches == 0 {
+		t.Fatal("miss-heavy dual-thread run never switched")
+	}
+	if dual.IPC() <= single.IPC() {
+		t.Fatalf("two threads (%.3f IPC) should outrun one (%.3f) by hiding memory latency",
+			dual.IPC(), single.IPC())
+	}
+}
+
+func TestPredictedSwitchesBeatDetectedOnes(t *testing.T) {
+	// The §2.2 claim: gating switches on the predictor switches earlier
+	// (at dispatch) than waiting for the miss indication.
+	base := New(Config{Threads: missHeavy(2), Engine: engineCfg()}).Run(60000)
+	hmp := New(Config{Threads: missHeavy(2), Engine: engineCfg(), UseLevelHMP: true}).Run(60000)
+	perfect := New(Config{Threads: missHeavy(2), Engine: engineCfg(), PerfectHMP: true}).Run(60000)
+	if hmp.SwitchesPredicted == 0 {
+		t.Fatal("level predictor triggered no predicted switches")
+	}
+	if base.SwitchesPredicted != 0 {
+		t.Fatalf("always-hit machine cannot predict switches, got %d", base.SwitchesPredicted)
+	}
+	if perfect.IPC() < base.IPC()*0.98 {
+		t.Fatalf("perfect-gated switching (%.3f) should not lose to detection-gated (%.3f)",
+			perfect.IPC(), base.IPC())
+	}
+}
+
+func TestSwitchPenaltyMatters(t *testing.T) {
+	cheap := New(Config{Threads: missHeavy(2), Engine: engineCfg(), UseLevelHMP: true, SwitchPenalty: 1}).Run(40000)
+	dear := New(Config{Threads: missHeavy(2), Engine: engineCfg(), UseLevelHMP: true, SwitchPenalty: 40}).Run(40000)
+	if dear.IPC() > cheap.IPC() {
+		t.Fatalf("a 40-cycle switch bubble (%.3f) cannot beat a 1-cycle one (%.3f)",
+			dear.IPC(), cheap.IPC())
+	}
+}
+
+func TestFourThreads(t *testing.T) {
+	res := New(Config{Threads: missHeavy(4), Engine: engineCfg(), UseLevelHMP: true}).Run(60000)
+	if res.IPC() <= 0 || res.Switches == 0 {
+		t.Fatalf("four-thread run degenerate: %+v", res)
+	}
+}
+
+func TestNoThreadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestResultIPCZeroCycles(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 {
+		t.Fatal("zero-cycle IPC must be 0")
+	}
+}

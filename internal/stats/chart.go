@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarChart renders labelled horizontal bars as text — the terminal stand-in
+// for the paper's bar figures. Bars scale to Width characters at the
+// maximum value (or at Max when set, e.g. 1.0 for fractions).
+type BarChart struct {
+	// Title heads the chart.
+	Title string
+	// Width is the maximum bar length in characters (default 50).
+	Width int
+	// Max pins the full-scale value; 0 means scale to the largest bar.
+	Max float64
+	// Baseline, when nonzero, draws bars from that value instead of zero —
+	// speedup charts use Baseline 1 so a 1.15 speedup shows as a 0.15 bar.
+	Baseline float64
+	// FormatValue renders the value label (default "%.3f").
+	FormatValue func(float64) string
+
+	labels []string
+	values []float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	format := c.FormatValue
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	}
+	scale := c.Max - c.Baseline
+	if c.Max == 0 {
+		for _, v := range c.values {
+			if v-c.Baseline > scale {
+				scale = v - c.Baseline
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range c.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range c.labels {
+		rel := c.values[i] - c.Baseline
+		n := 0
+		if scale > 0 && rel > 0 {
+			n = int(rel/scale*float64(width) + 0.5)
+			if n > width {
+				n = width
+			}
+		}
+		fmt.Fprintf(w, "%-*s %s%s %s\n", labelW, l,
+			strings.Repeat("█", n), strings.Repeat("·", width-n), format(c.values[i]))
+	}
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

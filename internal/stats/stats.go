@@ -1,0 +1,128 @@
+// Package stats provides the small table/number formatting layer the
+// experiment drivers and the CLI share: every paper figure is reproduced as
+// an aligned text table.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered as aligned text.
+type Table struct {
+	// Title heads the rendered table (e.g. "Figure 7 — Speedup vs Memory
+	// Ordering Scheme").
+	Title string
+	// Note is an optional caption line under the title.
+	Note string
+	// Columns are the header labels.
+	Columns []string
+	// Rows are the body cells; each row should have len(Columns) cells.
+	Rows [][]string
+}
+
+// AddRow appends a body row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(cells))
+		for i, cell := range cells {
+			wdt := 0
+			if i < len(widths) {
+				wdt = widths[i]
+			}
+			if i == 0 {
+				parts = append(parts, fmt.Sprintf("%-*s", wdt, cell))
+			} else {
+				parts = append(parts, fmt.Sprintf("%*s", wdt, cell))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Pct formats a fraction as "12.3%".
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Pct2 formats a fraction as "12.34%" (for the sub-percent quantities of
+// Figures 9 and 10).
+func Pct2(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// F3 formats a ratio with three decimals (speedups, metrics).
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for an empty slice); speedup
+// averages across traces use it, as is conventional.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Demo",
+		Note:    "a note",
+		Columns: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1.0")
+	tbl.AddRow("a-much-longer-name", "2.25")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if lines[1] != "====" {
+		t.Fatalf("underline = %q", lines[1])
+	}
+	if lines[2] != "a note" {
+		t.Fatalf("note = %q", lines[2])
+	}
+	// Header and body rows must align: the value column is right-aligned.
+	if !strings.HasSuffix(lines[3], "value") {
+		t.Fatalf("header = %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[5], " 1.0") {
+		t.Fatalf("row = %q", lines[5])
+	}
+	// All body lines equal width (alignment).
+	if len(lines[5]) != len(lines[6]) {
+		t.Fatalf("rows not aligned: %q vs %q", lines[5], lines[6])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := Table{Columns: []string{"a"}}
+	tbl.AddRow("x")
+	out := tbl.String()
+	if strings.Contains(out, "=") && strings.Index(out, "=") < strings.Index(out, "a") {
+		t.Fatalf("unexpected title underline: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Pct2(0.12345) != "12.35%" {
+		t.Errorf("Pct2 = %q", Pct2(0.12345))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Errorf("F3 = %q", F3(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Errorf("F2 = %q", F2(1.23456))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	// Non-positive entries are skipped, not fatal.
+	if g := GeoMean([]float64{0, 4}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean with zero = %v", g)
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("all non-positive should give 0")
+	}
+}
+
+func TestPropertyGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 && x > 1e-100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		g := GeoMean(xs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGeoMeanLEArithMean(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{Title: "Chart", Width: 10}
+	c.Add("a", 1.0)
+	c.Add("bb", 0.5)
+	c.Add("c", 0.0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Chart" {
+		t.Fatalf("title = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "██████████") {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "█████·····") {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "█") {
+		t.Fatalf("zero bar drew blocks: %q", lines[3])
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[1], "a  ") || !strings.HasPrefix(lines[2], "bb ") {
+		t.Fatalf("labels misaligned: %q / %q", lines[1], lines[2])
+	}
+}
+
+func TestBarChartBaseline(t *testing.T) {
+	c := BarChart{Width: 10, Baseline: 1, Max: 2}
+	c.Add("speedup", 1.5)
+	c.Add("baseline", 1.0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "█████·····") {
+		t.Fatalf("baseline-relative bar wrong: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "█") {
+		t.Fatalf("baseline bar should be empty: %q", lines[1])
+	}
+}
+
+func TestBarChartCustomFormat(t *testing.T) {
+	c := BarChart{Width: 4, FormatValue: func(v float64) string { return Pct(v) }}
+	c.Add("x", 0.5)
+	if !strings.Contains(c.String(), "50.0%") {
+		t.Fatalf("custom format ignored: %q", c.String())
+	}
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"loadsched/internal/uop"
+)
+
+// Binary trace-file format, for recording synthetic traces once and
+// replaying them across tools (or importing externally produced uop
+// streams):
+//
+//	header:  magic "LSUT" | u16 version | u16 reserved | u64 count
+//	record:  u64 seq | u64 ip | u64 addr | u64 storeID
+//	         u8 kind | u8 dst | u8 src1 | u8 src2 | u8 size | u8 flags
+//	flags:   bit0 taken, bit1 mispredicted
+//
+// Records are fixed-size (38 bytes) and little-endian.
+
+const (
+	fileMagic   = "LSUT"
+	fileVersion = 1
+	recordSize  = 8*4 + 6
+)
+
+// WriteTrace serializes n uops from src to w.
+func WriteTrace(w io.Writer, src Source, n int) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[0:4], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := 0; i < n; i++ {
+		u := src.Next()
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(u.Seq))
+		binary.LittleEndian.PutUint64(rec[8:16], u.IP)
+		binary.LittleEndian.PutUint64(rec[16:24], u.Addr)
+		binary.LittleEndian.PutUint64(rec[24:32], uint64(u.StoreID))
+		rec[32] = byte(u.Kind)
+		rec[33] = byte(u.Dst)
+		rec[34] = byte(u.Src1)
+		rec[35] = byte(u.Src2)
+		rec[36] = u.Size
+		var flags byte
+		if u.Taken {
+			flags |= 1
+		}
+		if u.Mispredicted {
+			flags |= 2
+		}
+		rec[37] = flags
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Source is the uop supplier interface (satisfied by *Generator and
+// *Reader).
+type Source interface {
+	Next() uop.UOp
+}
+
+// WriteTraceFile records n uops of a profile's trace into path.
+func WriteTraceFile(path string, p Profile, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteTrace(f, New(p), n); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Reader replays a recorded trace. Next wraps around at the end (renumbering
+// Seq and StoreID monotonically) so the reader satisfies the engine's
+// unbounded Source contract; Len reports the recorded length.
+type Reader struct {
+	uops []uop.UOp
+	pos  int
+	// wrap offsets keep Seq/StoreID strictly increasing across loops.
+	seqBase, storeBase int64
+	lastStoreID        int64
+}
+
+// NewReader parses a recorded trace from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxCount = 1 << 31
+	if count == 0 || count > maxCount {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	rd := &Reader{uops: make([]uop.UOp, 0, count)}
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		u := uop.UOp{
+			Seq:     int64(binary.LittleEndian.Uint64(rec[0:8])),
+			IP:      binary.LittleEndian.Uint64(rec[8:16]),
+			Addr:    binary.LittleEndian.Uint64(rec[16:24]),
+			StoreID: int64(binary.LittleEndian.Uint64(rec[24:32])),
+			Kind:    uop.Kind(rec[32]),
+			Dst:     uop.Reg(rec[33]),
+			Src1:    uop.Reg(rec[34]),
+			Src2:    uop.Reg(rec[35]),
+			Size:    rec[36],
+		}
+		u.Taken = rec[37]&1 != 0
+		u.Mispredicted = rec[37]&2 != 0
+		if int(u.Kind) >= uop.NumKinds {
+			return nil, fmt.Errorf("trace: record %d has invalid kind %d", i, u.Kind)
+		}
+		rd.uops = append(rd.uops, u)
+		if u.StoreID > rd.lastStoreID {
+			rd.lastStoreID = u.StoreID
+		}
+	}
+	return rd, nil
+}
+
+// ReadTraceFile parses a recorded trace from path.
+func ReadTraceFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NewReader(f)
+}
+
+// Len returns the number of recorded uops.
+func (r *Reader) Len() int { return len(r.uops) }
+
+// Next implements Source, wrapping around with renumbered Seq/StoreID.
+func (r *Reader) Next() uop.UOp {
+	if r.pos == len(r.uops) {
+		r.pos = 0
+		last := r.uops[len(r.uops)-1]
+		r.seqBase += last.Seq + 1
+		r.storeBase += r.lastStoreID
+	}
+	u := r.uops[r.pos]
+	r.pos++
+	u.Seq += r.seqBase
+	if u.StoreID != 0 {
+		u.StoreID += r.storeBase
+	}
+	return u
+}

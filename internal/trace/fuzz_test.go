@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader hardens the trace-file parser against corrupt input: it must
+// either return an error or produce a reader whose records all have valid
+// kinds — never panic or hang.
+func FuzzReader(f *testing.F) {
+	// Seed with a real trace and a few mutations.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, New(Profile{Name: "seed", Seed: 1}), 64); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:20])
+	f.Add([]byte("LSUT"))
+	f.Add([]byte{})
+	trunc := append([]byte{}, good...)
+	trunc[4] = 2
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rd.Len() <= 0 {
+			t.Fatal("reader with no records must be an error")
+		}
+		// Drain a bounded number of uops, covering at least one wrap.
+		n := rd.Len()*2 + 4
+		if n > 4096 {
+			n = 4096
+		}
+		prev := int64(-1)
+		for i := 0; i < n; i++ {
+			u := rd.Next()
+			if u.Seq <= prev {
+				t.Fatalf("Seq regressed: %d after %d", u.Seq, prev)
+			}
+			prev = u.Seq
+		}
+	})
+}
+
+// FuzzGeneratorProfile hardens generator construction against odd profile
+// values: any profile that survives withDefaults must generate without
+// panicking.
+func FuzzGeneratorProfile(f *testing.F) {
+	f.Add(int64(1), 4, 2, 3, 0.2, 0.1)
+	f.Add(int64(99), 64, 12, 1, 0.5, 0.4)
+	f.Fuzz(func(t *testing.T, seed int64, funcs, blockLen, depth int, loadFrac, storeFrac float64) {
+		if funcs < 1 || funcs > 128 || blockLen < 1 || blockLen > 32 || depth < 1 || depth > 12 {
+			t.Skip()
+		}
+		if loadFrac < 0 || storeFrac < 0 || loadFrac+storeFrac > 0.9 {
+			t.Skip()
+		}
+		p := Profile{
+			Name: "fuzz", Seed: seed,
+			NumFuncs: funcs, MeanBlockLen: blockLen, MaxCallDepth: depth,
+			LoadFrac: loadFrac, StoreFrac: storeFrac,
+		}
+		g := New(p)
+		for i := 0; i < 2000; i++ {
+			u := g.Next()
+			if u.Seq != int64(i) {
+				t.Fatalf("Seq %d at position %d", u.Seq, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package uop defines the micro-operation (uop) model used throughout the
+// simulator. It mirrors the P6-style decomposition described in the paper:
+// most IA-32 instructions decode into one uop, while a store decodes into a
+// STA (store address) uop and a STD (store data) uop, linked by a StoreID.
+package uop
+
+import "fmt"
+
+// Kind identifies the execution class of a uop. The class determines which
+// execution port can service it and its base latency.
+type Kind uint8
+
+const (
+	// Nop occupies front-end bandwidth but no execution resources.
+	Nop Kind = iota
+	// IntALU is a single-cycle integer operation.
+	IntALU
+	// Complex is a multi-cycle integer operation (multiply, divide, shuffles).
+	Complex
+	// FPU is a floating-point operation.
+	FPU
+	// Branch is a conditional or unconditional control transfer.
+	Branch
+	// Load reads memory. Loads are the subject of the paper.
+	Load
+	// STA computes a store's address. A load may not bypass an unresolved STA
+	// under the Traditional ordering scheme.
+	STA
+	// STD produces a store's data. A load that consumes the data of an
+	// incomplete same-address STD collides and pays the collision penalty.
+	STD
+
+	numKinds
+)
+
+// NumKinds is the number of distinct uop kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	Nop:     "nop",
+	IntALU:  "alu",
+	Complex: "cplx",
+	FPU:     "fp",
+	Branch:  "br",
+	Load:    "ld",
+	STA:     "sta",
+	STD:     "std",
+}
+
+// String returns the short mnemonic for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMem reports whether the uop accesses the memory pipeline (Load or STA).
+// STD uses a store-data port internally but does not address memory.
+func (k Kind) IsMem() bool { return k == Load || k == STA }
+
+// IsStorePart reports whether the uop is one half of a store.
+func (k Kind) IsStorePart() bool { return k == STA || k == STD }
+
+// Reg names an architectural register. Register 0 means "none": no source
+// dependency or no destination. The synthetic ISA has a flat integer/FP
+// register file; the renamer does not care about banks.
+type Reg uint8
+
+// NoReg is the absent-register sentinel.
+const NoReg Reg = 0
+
+// MaxArchRegs bounds the architectural register namespace of the synthetic
+// traces (1..MaxArchRegs-1 usable, 0 reserved for NoReg).
+const MaxArchRegs = 64
+
+// UOp is one dynamic micro-operation in a trace. Fields that do not apply to
+// a kind are zero (e.g. Addr for IntALU).
+type UOp struct {
+	// Seq is the dynamic sequence number, dense from 0 within a trace.
+	Seq int64
+	// IP is the static instruction pointer of the uop. All history-based
+	// predictors in the paper index on the load's IP, so recurrence of IPs
+	// is what makes prediction possible.
+	IP uint64
+	// Kind is the execution class.
+	Kind Kind
+	// Dst is the destination register (NoReg if none).
+	Dst Reg
+	// Src1 and Src2 are source registers (NoReg if unused).
+	Src1, Src2 Reg
+	// Addr is the effective memory address for Load and STA uops.
+	Addr uint64
+	// Size is the access size in bytes for memory uops (default 4 or 8).
+	Size uint8
+	// StoreID links the STA and STD halves of one store. Zero for non-store
+	// uops; IDs are dense from 1 within a trace.
+	StoreID int64
+	// Taken is the resolved direction for Branch uops.
+	Taken bool
+	// Mispredicted marks branches the front-end predictor got wrong; the
+	// generator resolves this against the modelled front-end predictor so
+	// the timing model can charge a refill bubble.
+	Mispredicted bool
+}
+
+// HasMemAddr reports whether Addr is meaningful for this uop.
+func (u *UOp) HasMemAddr() bool { return u.Kind == Load || u.Kind == STA }
+
+// CacheLine returns the 64-byte cache line address of the uop's access.
+func (u *UOp) CacheLine() uint64 { return u.Addr &^ 63 }
+
+// String renders a compact single-line description, for debugging and logs.
+func (u *UOp) String() string {
+	switch u.Kind {
+	case Load:
+		return fmt.Sprintf("%d: %s r%d <- [%#x] @%#x", u.Seq, u.Kind, u.Dst, u.Addr, u.IP)
+	case STA:
+		return fmt.Sprintf("%d: %s#%d [%#x] @%#x", u.Seq, u.Kind, u.StoreID, u.Addr, u.IP)
+	case STD:
+		return fmt.Sprintf("%d: %s#%d r%d @%#x", u.Seq, u.Kind, u.StoreID, u.Src1, u.IP)
+	case Branch:
+		dir := "nt"
+		if u.Taken {
+			dir = "t"
+		}
+		return fmt.Sprintf("%d: %s %s @%#x", u.Seq, u.Kind, dir, u.IP)
+	default:
+		return fmt.Sprintf("%d: %s r%d <- r%d,r%d @%#x", u.Seq, u.Kind, u.Dst, u.Src1, u.Src2, u.IP)
+	}
+}

@@ -1,0 +1,201 @@
+// Package loadsched reproduces "Speculation Techniques for Improving Load
+// Related Instruction Scheduling" (Adi Yoaz, Mattan Erez, Ronny Ronen,
+// Stephan Jourdan; ISCA 1999) as a library: a trace-driven out-of-order
+// machine simulator plus the paper's three speculation techniques —
+// memory-dependence (collision) prediction, data-cache hit-miss prediction,
+// and cache-bank prediction.
+//
+// The facade wires together the internal packages for the common cases:
+//
+//	res := loadsched.Run(loadsched.Workload{Group: "SysmarkNT", Trace: "ex"},
+//	    loadsched.Machine{Scheme: loadsched.Inclusive})
+//	fmt.Println(res.IPC(), res.Speedup)
+//
+// For full control (custom CHT geometries, banked-cache policies, hit-miss
+// predictor stacks, synthetic workload profiles) use the internal packages
+// directly; examples/ shows both styles.
+package loadsched
+
+import (
+	"fmt"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/hitmiss"
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// Scheme selects the memory reference ordering method (§3.1 of the paper).
+type Scheme = memdep.Scheme
+
+// The six ordering schemes.
+const (
+	// Traditional is the P6-style baseline: loads wait for all older store
+	// addresses.
+	Traditional = memdep.Traditional
+	// Opportunistic advances every load as early as possible.
+	Opportunistic = memdep.Opportunistic
+	// Postponing holds CHT-predicted colliding loads for all older store
+	// data.
+	Postponing = memdep.Postponing
+	// Inclusive advances predicted non-colliding loads past all stores.
+	Inclusive = memdep.Inclusive
+	// Exclusive additionally predicts the collision distance.
+	Exclusive = memdep.Exclusive
+	// Perfect is oracle disambiguation.
+	Perfect = memdep.Perfect
+)
+
+// HMP selects the hit-miss predictor for a Machine.
+type HMP string
+
+// Hit-miss predictor choices.
+const (
+	// HMPNone models today's always-hit scheduling.
+	HMPNone HMP = "none"
+	// HMPLocal is the 2048-entry local predictor of §2.2.
+	HMPLocal HMP = "local"
+	// HMPChooser is the hybrid local+gshare+gskew majority predictor.
+	HMPChooser HMP = "chooser"
+	// HMPPerfect is the oracle.
+	HMPPerfect HMP = "perfect"
+)
+
+// Workload names a synthetic trace: one of the paper's seven groups and a
+// member trace. Zero values default to SysmarkNT/ex.
+type Workload struct {
+	Group string
+	Trace string
+	// Uops is the measured length (default 200000).
+	Uops int
+	// Warmup is the unmeasured prefix (default 40000).
+	Warmup int
+}
+
+// Machine selects the interesting knobs of the §3.1 machine; zero values
+// take the paper's baseline (32-entry window, 2 int / 2 mem / 1 FP /
+// 2 complex units, Traditional ordering, always-hit scheduling).
+type Machine struct {
+	Scheme Scheme
+	// Window is the scheduling-window size (default 32).
+	Window int
+	// IntUnits / MemUnits widen the machine (defaults 2 / 2).
+	IntUnits, MemUnits int
+	// HMP selects the hit-miss predictor (default HMPNone).
+	HMP HMP
+	// TimingHMP adds the outstanding-miss-queue enhancement to HMP.
+	TimingHMP bool
+	// CHTEntries sizes the Full CHT used by CHT schemes (default 2048).
+	CHTEntries int
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	ooo.Stats
+	// Workload and Machine echo the request.
+	Workload Workload
+	Machine  Machine
+}
+
+// Run simulates one workload on one machine.
+func Run(w Workload, m Machine) (Result, error) {
+	w = w.withDefaults()
+	p, ok := trace.TraceByName(w.Group, w.Trace)
+	if !ok {
+		return Result{}, fmt.Errorf("loadsched: unknown trace %s/%s", w.Group, w.Trace)
+	}
+	cfg, err := m.config()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.WarmupUops = w.Warmup
+	e := ooo.NewEngine(cfg, trace.New(p))
+	return Result{Stats: e.Run(w.Uops), Workload: w, Machine: m}, nil
+}
+
+// Compare runs the workload under every ordering scheme and returns the
+// speedups over Traditional — the experiment of Figure 7 for one trace.
+func Compare(w Workload, m Machine) (map[Scheme]float64, error) {
+	out := make(map[Scheme]float64, 6)
+	m.Scheme = Traditional
+	base, err := Run(w, m)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range memdep.Schemes() {
+		m.Scheme = s
+		r, err := Run(w, m)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = r.IPC() / base.IPC()
+	}
+	return out, nil
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Group == "" {
+		w.Group = trace.GroupSysmarkNT
+	}
+	if w.Trace == "" {
+		w.Trace = "ex"
+	}
+	if w.Uops == 0 {
+		w.Uops = 200_000
+	}
+	if w.Warmup == 0 {
+		w.Warmup = 40_000
+	}
+	return w
+}
+
+func (m Machine) config() (ooo.Config, error) {
+	cfg := ooo.DefaultConfig()
+	cfg.Scheme = m.Scheme
+	if m.Window > 0 {
+		cfg.Window = m.Window
+	}
+	if m.IntUnits > 0 {
+		cfg.IntUnits = m.IntUnits
+	}
+	if m.MemUnits > 0 {
+		cfg.MemUnits = m.MemUnits
+	}
+	if cfg.Scheme.UsesCHT() {
+		n := m.CHTEntries
+		if n == 0 {
+			n = 2048
+		}
+		cfg.CHT = memdep.NewFullCHT(n, 4, 2, true)
+	}
+	switch m.HMP {
+	case "", HMPNone:
+	case HMPLocal:
+		cfg.HMP = hitmiss.NewLocal()
+	case HMPChooser:
+		cfg.HMP = hitmiss.NewChooser()
+	case HMPPerfect:
+		cfg.HMP = &hitmiss.Perfect{}
+	default:
+		return cfg, fmt.Errorf("loadsched: unknown HMP %q", m.HMP)
+	}
+	cfg.UseTimingHMP = m.TimingHMP
+	return cfg, nil
+}
+
+// Groups lists the seven synthetic trace groups with their member names.
+func Groups() map[string][]string {
+	out := map[string][]string{}
+	for _, g := range trace.Groups() {
+		for _, t := range g.Traces {
+			out[g.Name] = append(out[g.Name], t.Name)
+		}
+	}
+	return out
+}
+
+// Figures re-exports the experiment options type for driving full paper
+// figures from library code (see internal/experiments for the FigN
+// functions, and cmd/loadsched for the CLI).
+type Figures = experiments.Options

@@ -1,0 +1,117 @@
+package loadsched
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Workload{Uops: 30000, Warmup: 5000}, Machine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Uops < 30000 {
+		t.Fatalf("retired %d uops", r.Uops)
+	}
+	if r.IPC() <= 0 {
+		t.Fatal("non-positive IPC")
+	}
+	if r.Workload.Group != "SysmarkNT" || r.Workload.Trace != "ex" {
+		t.Fatalf("defaults not applied: %+v", r.Workload)
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	if _, err := Run(Workload{Group: "Nope", Trace: "x"}, Machine{}); err == nil {
+		t.Fatal("unknown trace must error")
+	}
+	if _, err := Run(Workload{Group: "SpecInt95", Trace: "nope"}, Machine{}); err == nil {
+		t.Fatal("unknown trace name must error")
+	}
+}
+
+func TestRunUnknownHMP(t *testing.T) {
+	if _, err := Run(Workload{Uops: 1000, Warmup: 100}, Machine{HMP: "bogus"}); err == nil {
+		t.Fatal("unknown HMP must error")
+	}
+}
+
+func TestRunSchemes(t *testing.T) {
+	for _, s := range []Scheme{Traditional, Opportunistic, Postponing, Inclusive, Exclusive, Perfect} {
+		r, err := Run(Workload{Uops: 20000, Warmup: 5000}, Machine{Scheme: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r.IPC() <= 0 {
+			t.Fatalf("%v: zero IPC", s)
+		}
+	}
+}
+
+func TestRunHMPs(t *testing.T) {
+	for _, h := range []HMP{HMPNone, HMPLocal, HMPChooser, HMPPerfect} {
+		r, err := Run(Workload{Uops: 20000, Warmup: 5000}, Machine{HMP: h, TimingHMP: h == HMPLocal})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if h == HMPPerfect && r.HM.AMPH != 0 {
+			t.Fatalf("perfect HMP mispredicted %d misses", r.HM.AMPH)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	sp, err := Compare(Workload{Group: "SysmarkNT", Trace: "pp", Uops: 80000, Warmup: 20000}, Machine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 6 {
+		t.Fatalf("expected 6 schemes, got %d", len(sp))
+	}
+	if sp[Traditional] != 1.0 {
+		t.Fatalf("baseline speedup = %v, want exactly 1", sp[Traditional])
+	}
+	if sp[Perfect] < 1.0 {
+		t.Fatalf("perfect disambiguation slower than traditional: %v", sp[Perfect])
+	}
+	// The paper's central result, loosely: the predictor schemes sit between
+	// the baseline and perfect.
+	if sp[Inclusive] < 0.97 || sp[Inclusive] > sp[Perfect]*1.03 {
+		t.Fatalf("inclusive speedup %v outside [0.97, perfect+3%%]", sp[Inclusive])
+	}
+}
+
+func TestGroups(t *testing.T) {
+	gs := Groups()
+	if len(gs) != 7 {
+		t.Fatalf("expected 7 groups, got %d", len(gs))
+	}
+	total := 0
+	for _, names := range gs {
+		total += len(names)
+	}
+	if total != 46 {
+		t.Fatalf("expected 46 traces, got %d", total)
+	}
+}
+
+func TestMachineKnobs(t *testing.T) {
+	small, err := Run(Workload{Uops: 40000, Warmup: 10000}, Machine{Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Workload{Uops: 40000, Warmup: 10000}, Machine{Window: 128, IntUnits: 4, MemUnits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IPC() <= small.IPC() {
+		t.Fatalf("wide machine (%.3f) should beat narrow (%.3f)", big.IPC(), small.IPC())
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	w := Workload{Uops: 30000, Warmup: 5000}
+	m := Machine{Scheme: Exclusive}
+	a, _ := Run(w, m)
+	b, _ := Run(w, m)
+	if a.Stats != b.Stats {
+		t.Fatal("identical runs diverged")
+	}
+}
