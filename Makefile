@@ -1,0 +1,38 @@
+# Development targets. `make verify` is the PR gate: build, vet, the full
+# test suite under the race detector, and a determinism spot-check that a
+# parallel figure run (-j 8) renders byte-identically to a serial one (-j 1).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench determinism clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=RunnerMultiFigure -benchtime=3x -run='^$$'
+
+# determinism: the CLI's figure tables must not depend on the worker count.
+determinism: build
+	$(GO) build -o /tmp/loadsched-determinism ./cmd/loadsched
+	/tmp/loadsched-determinism all -quick -j 1 > /tmp/loadsched-j1.txt
+	/tmp/loadsched-determinism all -quick -j 8 > /tmp/loadsched-j8.txt
+	cmp /tmp/loadsched-j1.txt /tmp/loadsched-j8.txt
+	@echo "determinism: -j1 and -j8 outputs are byte-identical"
+
+verify: build vet race determinism
+	@echo "verify: OK"
+
+clean:
+	rm -f /tmp/loadsched-determinism /tmp/loadsched-j1.txt /tmp/loadsched-j8.txt

@@ -16,14 +16,19 @@ import (
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/smt"
 	"loadsched/internal/trace"
 	"loadsched/internal/uop"
 )
 
 // benchOptions keeps the per-iteration cost of figure benchmarks bounded.
+// The pool is isolated and cache-free so every iteration measures full
+// simulation cost: on the shared process-wide cache, iterations after the
+// first would be memo hits.
 func benchOptions() experiments.Options {
-	return experiments.Options{Uops: 30_000, Warmup: 8_000, TracesPerGroup: 2}
+	return experiments.Options{Uops: 30_000, Warmup: 8_000, TracesPerGroup: 2,
+		Pool: runner.NewIsolated(0, nil)}
 }
 
 func BenchmarkFig5Classification(b *testing.B) {
@@ -62,7 +67,8 @@ func BenchmarkFig7OrderingSchemes(b *testing.B) {
 }
 
 func BenchmarkFig8MachineConfigs(b *testing.B) {
-	o := experiments.Options{Uops: 20_000, Warmup: 6_000, TracesPerGroup: 1}
+	o := experiments.Options{Uops: 20_000, Warmup: 6_000, TracesPerGroup: 1,
+		Pool: runner.NewIsolated(0, nil)}
 	var wide float64
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig8(o)
@@ -105,7 +111,8 @@ func BenchmarkFig10HitMissStats(b *testing.B) {
 }
 
 func BenchmarkFig11HitMissSpeedup(b *testing.B) {
-	o := experiments.Options{Uops: 25_000, Warmup: 8_000, TracesPerGroup: 2}
+	o := experiments.Options{Uops: 25_000, Warmup: 8_000, TracesPerGroup: 2,
+		Pool: runner.NewIsolated(0, nil)}
 	var perfect float64
 	for i := 0; i < b.N; i++ {
 		cells := experiments.Fig11(o)
@@ -316,6 +323,9 @@ func BenchmarkBankPredictorC(b *testing.B) {
 	}
 }
 
+// BenchmarkFacadeRun measures the facade in repeated use: the first
+// iteration simulates, the rest hit the process-wide memoization cache, so
+// the steady-state ns/op is the cache-lookup path the facade now ships with.
 func BenchmarkFacadeRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := Run(Workload{Uops: 20_000, Warmup: 5_000},
@@ -324,6 +334,36 @@ func BenchmarkFacadeRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunnerMultiFigure measures the tentpole win end-to-end: Figures
+// 5–8 back to back, the workload of `loadsched all`. "serial" is the
+// pre-runner behavior (one worker, no memoization — every job simulates).
+// "parallel" uses all cores and a fresh per-iteration cache, so the
+// Traditional baseline shared by the four figures is simulated once; on a
+// single core the cache alone wins, on ≥4 cores the pool multiplies it.
+func BenchmarkRunnerMultiFigure(b *testing.B) {
+	figures := func(o experiments.Options) {
+		experiments.Fig5(o)
+		experiments.Fig6(o)
+		experiments.Fig7(o)
+		experiments.Fig8(o)
+	}
+	base := experiments.Options{Uops: 20_000, Warmup: 5_000, TracesPerGroup: 2}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := base
+			o.Pool = runner.NewIsolated(1, nil)
+			figures(o)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := base
+			o.Pool = runner.NewIsolated(0, runner.NewCache())
+			figures(o)
+		}
+	})
 }
 
 // guard against dead-code elimination of uop helpers in benches above.

@@ -12,9 +12,11 @@
 // Flags (figure/all/run):
 //
 //	-uops N     measured uops per trace (default 200000)
-//	-warmup N   warmup uops per trace (default 40000)
+//	-warmup N   warmup uops per trace (default 40000, -1 = none)
 //	-traces N   traces per group (default all)
 //	-quick      small preset (60K uops, 2 traces/group)
+//	-j N        concurrent simulations (default GOMAXPROCS, 1 = serial);
+//	            output is byte-identical for every setting
 //
 // Flags (run):
 //
@@ -80,7 +82,7 @@ commands:
   record -o f [flags]     serialize a synthetic trace to a file
   replay -f f [flags]     simulate a recorded trace file
   traces                  list trace groups and members
-run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick;
+run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick -j;
 'run' also takes -group -trace -scheme -window -hmp`)
 }
 
@@ -92,9 +94,18 @@ func fatal(format string, a ...any) {
 func optionFlags(fs *flag.FlagSet) *experiments.Options {
 	o := experiments.DefaultOptions()
 	fs.IntVar(&o.Uops, "uops", o.Uops, "measured uops per trace")
-	fs.IntVar(&o.Warmup, "warmup", o.Warmup, "warmup uops per trace")
+	fs.IntVar(&o.Warmup, "warmup", o.Warmup, "warmup uops per trace (-1 = none)")
 	fs.IntVar(&o.TracesPerGroup, "traces", o.TracesPerGroup, "traces per group (0 = all)")
+	fs.IntVar(&o.Workers, "j", o.Workers, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	return &o
+}
+
+// applyQuick replaces the options with the quick preset while preserving the
+// flags (like -j) the preset does not cover.
+func applyQuick(o *experiments.Options) {
+	workers := o.Workers
+	*o = experiments.Quick()
+	o.Workers = workers
 }
 
 func runFigures(figs []string, args []string) {
@@ -104,7 +115,7 @@ func runFigures(figs []string, args []string) {
 	chart := fs.Bool("chart", false, "also render bar charts")
 	_ = fs.Parse(args)
 	if *quick {
-		*o = experiments.Quick()
+		applyQuick(o)
 	}
 	for _, f := range figs {
 		tbl, ch := figureTable(f, *o)
@@ -162,7 +173,7 @@ func runSingle(args []string) {
 	}
 	cfg := ooo.DefaultConfig()
 	cfg.Window = *window
-	cfg.WarmupUops = o.Warmup
+	cfg.WarmupUops = o.EffectiveWarmup()
 	cfg.Scheme, ok = parseScheme(*scheme)
 	if !ok {
 		fatal("unknown scheme %q", *scheme)

@@ -8,6 +8,7 @@ import (
 	"loadsched/internal/experiments"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -26,7 +27,7 @@ func runSweep(args []string) {
 	quick := fs.Bool("quick", false, "small fast preset")
 	_ = fs.Parse(args[1:])
 	if *quick {
-		*o = experiments.Quick()
+		applyQuick(o)
 	}
 
 	g, ok := trace.GroupByName(*group)
@@ -38,16 +39,36 @@ func runSweep(args []string) {
 		traces = traces[:o.TracesPerGroup]
 	}
 
+	// run executes one machine point over every trace concurrently (the
+	// shared cache reuses any point an earlier row already simulated) and
+	// geo-means the IPCs. mut must be a pure config mutation: it is re-run
+	// for every trace.
+	pool := runner.New(o.Workers)
 	run := func(mut func(*ooo.Config)) float64 {
-		ipc := make([]float64, 0, len(traces))
-		for _, p := range traces {
-			cfg := ooo.DefaultConfig()
-			cfg.WarmupUops = o.Warmup
-			mut(&cfg)
-			e := ooo.NewEngine(cfg, trace.New(p))
-			ipc = append(ipc, e.Run(o.Uops).IPC())
+		jobs := make([]runner.Job, len(traces))
+		for i, p := range traces {
+			jobs[i] = runner.Job{
+				Build: func() ooo.Config {
+					cfg := ooo.DefaultConfig()
+					mut(&cfg)
+					return cfg
+				},
+				Profile: p,
+				Uops:    o.Uops,
+				Warmup:  o.EffectiveWarmup(),
+			}
 		}
-		return stats.GeoMean(ipc)
+		sts := pool.Run(jobs)
+		ipc := make([]float64, len(sts))
+		for i, st := range sts {
+			ipc[i] = st.IPC()
+		}
+		m, dropped := stats.GeoMeanCounted(ipc)
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "loadsched: sweep %s: %d of %d traces produced non-positive IPC, excluded from the mean\n",
+				kind, dropped, len(ipc))
+		}
+		return m
 	}
 
 	var t stats.Table

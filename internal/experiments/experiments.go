@@ -4,13 +4,27 @@
 // evaluation was statistical) and returns both structured results and a
 // rendered text table. EXPERIMENTS.md records the paper-vs-measured
 // comparison for each.
+//
+// Every figure executes its independent simulations through
+// internal/runner: a bounded worker pool (Options.Workers) with
+// order-preserving collection and a process-wide memoization cache, so the
+// Traditional baseline shared by Figures 5–8 (and by repeated sweeps) is
+// simulated exactly once per process. Tables are assembled from results in
+// job order, which keeps rendered output byte-identical across worker
+// counts.
 package experiments
 
 import (
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/trace"
 )
+
+// NoWarmup is the sentinel for an explicitly zero warmup region. A Warmup
+// of 0 means "default" wherever defaults apply (the CLI, the facade);
+// negative values always mean "no warmup at all".
+const NoWarmup = -1
 
 // Options scale every experiment. Benchmarks use small values; the CLI
 // defaults are large enough for stable percentages.
@@ -18,10 +32,20 @@ type Options struct {
 	// Uops is the number of measured uops per trace.
 	Uops int
 	// Warmup is the number of uops simulated before measurement, letting
-	// caches and predictors reach steady state.
+	// caches and predictors reach steady state. Negative values (NoWarmup)
+	// request an explicitly empty warmup region.
 	Warmup int
 	// TracesPerGroup caps how many traces of each group run (0 = all).
 	TracesPerGroup int
+	// Workers bounds the number of concurrent simulations (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for every setting; only wall-clock
+	// time changes.
+	Workers int
+	// Pool, when non-nil, overrides the simulation pool (and with it the
+	// memoization cache) the experiments run on. Tests and benchmarks use
+	// isolated pools; nil selects a pool of Workers workers sharing the
+	// process-wide cache.
+	Pool *runner.Pool
 }
 
 // DefaultOptions is the CLI default: every trace, 200K measured uops each.
@@ -32,6 +56,22 @@ func DefaultOptions() Options {
 // Quick is a fast configuration for tests and short benchmark runs.
 func Quick() Options {
 	return Options{Uops: 60_000, Warmup: 15_000, TracesPerGroup: 2}
+}
+
+// EffectiveWarmup resolves the warmup sentinel: negative Warmup means zero.
+func (o Options) EffectiveWarmup() int {
+	if o.Warmup < 0 {
+		return 0
+	}
+	return o.Warmup
+}
+
+// pool resolves the simulation pool the experiment runs on.
+func (o Options) pool() *runner.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return runner.New(o.Workers)
 }
 
 // traces returns the group's traces under the cap.
@@ -51,11 +91,23 @@ func (o Options) groupTraces(name string) []trace.Profile {
 	return o.traces(g)
 }
 
-// run simulates one trace on one machine configuration.
+// job wraps one (config, trace) simulation for the runner. build must
+// construct a fresh Config on every call (predictors are stateful).
+func (o Options) job(build func() ooo.Config, p trace.Profile) runner.Job {
+	return runner.Job{Build: build, Profile: p, Uops: o.Uops, Warmup: o.EffectiveWarmup()}
+}
+
+// schemeJob is the common case: the §3.1 baseline machine under one
+// ordering scheme. Every figure that shares the Traditional baseline
+// builds it through here, so the memo keys coincide across figures.
+func (o Options) schemeJob(s memdep.Scheme, p trace.Profile) runner.Job {
+	return o.job(func() ooo.Config { return baseConfig(s) }, p)
+}
+
+// run simulates one trace on one machine configuration (through the pool's
+// cache, serially on the calling goroutine).
 func (o Options) run(cfg ooo.Config, p trace.Profile) ooo.Stats {
-	cfg.WarmupUops = o.Warmup
-	e := ooo.NewEngine(cfg, trace.New(p))
-	return e.Run(o.Uops)
+	return o.pool().Do(o.job(func() ooo.Config { return cfg }, p))
 }
 
 // baseConfig is the §3.1 machine with the given ordering scheme; CHT-based

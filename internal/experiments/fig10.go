@@ -3,6 +3,7 @@ package experiments
 import (
 	"loadsched/internal/cache"
 	"loadsched/internal/hitmiss"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 	"loadsched/internal/uop"
@@ -27,20 +28,40 @@ type Fig10Row struct {
 // local predictor catches 34–85% of misses (AM-PM) at 0.07–0.32% AH-PM; the
 // chooser cuts AH-PM to 0.04–0.2% while giving up little AM-PM; FP traces
 // predict best, "Others" worst; AM-PM outweighs AH-PM at least 5:1.
+//
+// Every replay owns fresh predictors and a fresh hierarchy, so the
+// per-trace tallies are independent: they run concurrently and merge per
+// group in trace order.
 func Fig10(o Options) []Fig10Row {
-	var rows []Fig10Row
+	type part struct {
+		local, chooser hitmiss.Outcomes
+	}
+	var profiles []trace.Profile
+	var spans [][2]int
 	for _, gname := range Fig10Groups {
+		start := len(profiles)
+		profiles = append(profiles, fig10Traces(o, gname)...)
+		spans = append(spans, [2]int{start, len(profiles)})
+	}
+	parts := runner.Map(o.pool(), len(profiles), func(ti int) part {
+		var pt part
+		local, chooser := hitmiss.NewLocal(), hitmiss.NewChooser()
+		replayLoads(profiles[ti], o, func(ip, addr uint64, hit, measured bool) {
+			if measured {
+				pt.local.Record(hit, local.PredictHit(ip, addr, 0))
+				pt.chooser.Record(hit, chooser.PredictHit(ip, addr, 0))
+			}
+			local.Update(ip, addr, 0, hit)
+			chooser.Update(ip, addr, 0, hit)
+		})
+		return pt
+	})
+	var rows []Fig10Row
+	for gi, gname := range Fig10Groups {
 		row := Fig10Row{Group: gname}
-		for _, p := range fig10Traces(o, gname) {
-			local, chooser := hitmiss.NewLocal(), hitmiss.NewChooser()
-			replayLoads(p, o, func(ip, addr uint64, hit, measured bool) {
-				if measured {
-					row.Local.Record(hit, local.PredictHit(ip, addr, 0))
-					row.Chooser.Record(hit, chooser.PredictHit(ip, addr, 0))
-				}
-				local.Update(ip, addr, 0, hit)
-				chooser.Update(ip, addr, 0, hit)
-			})
+		for _, pt := range parts[spans[gi][0]:spans[gi][1]] {
+			row.Local.Add(pt.local)
+			row.Chooser.Add(pt.chooser)
 		}
 		rows = append(rows, row)
 	}
@@ -65,13 +86,14 @@ func fig10Traces(o Options, gname string) []trace.Profile {
 func replayLoads(p trace.Profile, o Options, fn func(ip, addr uint64, hit, measured bool)) {
 	g := trace.New(p)
 	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
-	total := o.Warmup + o.Uops
+	warmup := o.EffectiveWarmup()
+	total := warmup + o.Uops
 	for i := 0; i < total; i++ {
 		u := g.Next()
 		switch u.Kind {
 		case uop.Load:
 			hit := h.Access(u.Addr) == cache.L1
-			fn(u.IP, u.Addr, hit, i >= o.Warmup)
+			fn(u.IP, u.Addr, hit, i >= warmup)
 		case uop.STA:
 			h.Access(u.Addr)
 		}

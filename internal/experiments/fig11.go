@@ -4,6 +4,7 @@ import (
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -52,21 +53,38 @@ func fig11Config(predictor string) ooo.Config {
 // Fig11 reproduces Figure 11 (Speedup of Hit-Miss Prediction). The paper's
 // shape: a perfect HMP is worth ≈6% on this machine; the local predictor
 // with timing information achieves about 45% of that (≈2.5%); timing
-// information helps every predictor.
+// information helps every predictor. All (group, predictor, trace) runs —
+// including the always-hit baseline — execute concurrently.
 func Fig11(o Options) []Fig11Cell {
-	var cells []Fig11Cell
+	type block struct {
+		gname string
+		n     int
+		start int // index of the group's "none" baseline jobs
+	}
+	var blocks []block
+	var jobs []runner.Job
 	for _, gname := range Fig11Groups {
 		traces := o.groupTraces(gname)
-		base := make([]float64, len(traces))
-		for i, p := range traces {
-			base[i] = o.run(fig11Config("none"), p).IPC()
-		}
-		for _, pred := range Fig11Predictors {
-			sp := make([]float64, len(traces))
-			for i, p := range traces {
-				sp[i] = o.run(fig11Config(pred), p).IPC() / base[i]
+		blocks = append(blocks, block{gname: gname, n: len(traces), start: len(jobs)})
+		for _, pred := range append([]string{"none"}, Fig11Predictors...) {
+			for _, p := range traces {
+				jobs = append(jobs, o.job(func() ooo.Config { return fig11Config(pred) }, p))
 			}
-			cells = append(cells, Fig11Cell{Group: gname, Predictor: pred, Speedup: stats.GeoMean(sp)})
+		}
+	}
+	sts := o.pool().Run(jobs)
+	var cells []Fig11Cell
+	for _, b := range blocks {
+		base := make([]float64, b.n)
+		for i := 0; i < b.n; i++ {
+			base[i] = sts[b.start+i].IPC()
+		}
+		for pi, pred := range Fig11Predictors {
+			sp := make([]float64, b.n)
+			for i := 0; i < b.n; i++ {
+				sp[i] = sts[b.start+(pi+1)*b.n+i].IPC() / base[i]
+			}
+			cells = append(cells, Fig11Cell{Group: b.gname, Predictor: pred, Speedup: stats.GeoMean(sp)})
 		}
 	}
 	return cells

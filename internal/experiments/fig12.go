@@ -5,6 +5,7 @@ import (
 
 	"loadsched/internal/bankpred"
 	"loadsched/internal/cache"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 	"loadsched/internal/uop"
@@ -52,38 +53,54 @@ func fig12Make(name string, banking cache.Banking) bankpred.Predictor {
 // prediction rates ≈50% for A and B, ≈70% for C and Addr; accuracies ≈97%
 // for A and C, ≈98% for B and Addr. The metric at penalty 0 reads off the
 // prediction rate; the slope reads off the accuracy.
+//
+// The predictor tables are reset between traces (per-trace runs), so each
+// trace's replay is independent: all (group, trace) replays run concurrently
+// with fresh predictors, and their tallies merge in trace order.
 func Fig12(o Options) []Fig12Row {
 	banking := cache.DefaultBanking()
-	var rows []Fig12Row
+	var profiles []trace.Profile
+	var spans [][2]int
 	for _, gname := range Fig12Groups {
+		start := len(profiles)
+		profiles = append(profiles, o.groupTraces(gname)...)
+		spans = append(spans, [2]int{start, len(profiles)})
+	}
+	warmup := o.EffectiveWarmup()
+	parts := runner.Map(o.pool(), len(profiles), func(ti int) []bankpred.Stats {
 		preds := make([]bankpred.Predictor, len(Fig12Predictors))
 		tallies := make([]bankpred.Stats, len(Fig12Predictors))
 		for i, n := range Fig12Predictors {
 			preds[i] = fig12Make(n, banking)
 		}
-		for _, p := range o.groupTraces(gname) {
-			g := trace.New(p)
-			total := o.Warmup + o.Uops
-			for u := 0; u < total; u++ {
-				up := g.Next()
-				if up.Kind != uop.Load {
-					continue
+		g := trace.New(profiles[ti])
+		total := warmup + o.Uops
+		for u := 0; u < total; u++ {
+			up := g.Next()
+			if up.Kind != uop.Load {
+				continue
+			}
+			actual := banking.BankOf(up.Addr)
+			for i, pr := range preds {
+				bank, ok := pr.Predict(up.IP)
+				if u >= warmup {
+					tallies[i].Record(ok, ok && bank == actual)
 				}
-				actual := banking.BankOf(up.Addr)
-				for i, pr := range preds {
-					bank, ok := pr.Predict(up.IP)
-					if u >= o.Warmup {
-						tallies[i].Record(ok, ok && bank == actual)
-					}
-					if ab, isAddr := pr.(*bankpred.AddrBank); isAddr {
-						ab.UpdateAddr(up.IP, up.Addr)
-					} else {
-						pr.Update(up.IP, actual)
-					}
+				if ab, isAddr := pr.(*bankpred.AddrBank); isAddr {
+					ab.UpdateAddr(up.IP, up.Addr)
+				} else {
+					pr.Update(up.IP, actual)
 				}
 			}
-			for i := range preds {
-				preds[i].Reset() // fresh tables per trace, as per-trace runs
+		}
+		return tallies
+	})
+	var rows []Fig12Row
+	for gi, gname := range Fig12Groups {
+		tallies := make([]bankpred.Stats, len(Fig12Predictors))
+		for _, part := range parts[spans[gi][0]:spans[gi][1]] {
+			for i := range tallies {
+				tallies[i].Add(part[i])
 			}
 		}
 		for i, n := range Fig12Predictors {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"loadsched/internal/memdep"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -17,19 +18,31 @@ type Fig5Row struct {
 // (ANC), or have no ordering conflict at schedule time, per trace group,
 // with the 32-entry baseline scheduling window. The paper's headline: ≈10%
 // AC, ≈60% ANC, ≈30% no-conflict, so 60–70% of loads can benefit from a
-// collision predictor.
+// collision predictor. All (group, trace) baseline runs execute
+// concurrently; the per-group tallies merge in group/trace order.
 func Fig5(o Options) []Fig5Row {
-	var rows []Fig5Row
+	var groups []string
+	var spans [][2]int
+	var jobs []runner.Job
 	for _, gname := range trace.GroupNames() {
 		if gname == trace.GroupSpecFP95 {
 			continue // the paper's disambiguation runs exclude SpecFP95 (§4.1)
 		}
-		var cl memdep.Classification
+		start := len(jobs)
 		for _, p := range o.groupTraces(gname) {
-			st := o.run(baseConfig(memdep.Traditional), p)
+			jobs = append(jobs, o.schemeJob(memdep.Traditional, p))
+		}
+		groups = append(groups, gname)
+		spans = append(spans, [2]int{start, len(jobs)})
+	}
+	sts := o.pool().Run(jobs)
+	rows := make([]Fig5Row, len(groups))
+	for i, gname := range groups {
+		var cl memdep.Classification
+		for _, st := range sts[spans[i][0]:spans[i][1]] {
 			cl.Add(st.Class)
 		}
-		rows = append(rows, Fig5Row{Group: gname, Class: cl})
+		rows[i] = Fig5Row{Group: gname, Class: cl}
 	}
 	return rows
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"loadsched/internal/memdep"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -26,23 +27,30 @@ func (r *Fig7Result) Average(s memdep.Scheme) float64 {
 // (2K entries, 4-way, 2-bit counters). The paper's curve: Postponing ≈ +6%,
 // Opportunistic ≈ +9%, Inclusive ≈ +14%, Exclusive ≈ +16%, Perfect ≈ +17% —
 // the two predictor schemes capture most of the disambiguation headroom.
+// All (scheme, trace) runs execute concurrently; the Traditional baseline
+// appears once in the job list, serving both as the denominator and as its
+// own table row (pinned to exactly 1.0 by x/x division).
 func Fig7(o Options) Fig7Result {
 	res := Fig7Result{Speedup: map[memdep.Scheme][]float64{}}
 	traces := o.groupTraces(trace.GroupSysmarkNT)
-	base := make([]float64, len(traces))
-	for i, p := range traces {
+	for _, p := range traces {
 		res.Traces = append(res.Traces, p.Name)
-		base[i] = o.run(baseConfig(memdep.Traditional), p).IPC()
 	}
-	for _, s := range memdep.Schemes() {
-		for i, p := range traces {
-			var ipc float64
-			if s == memdep.Traditional {
-				ipc = base[i]
-			} else {
-				ipc = o.run(baseConfig(s), p).IPC()
-			}
-			res.Speedup[s] = append(res.Speedup[s], ipc/base[i])
+	schemes := memdep.Schemes()
+	jobs := make([]runner.Job, 0, len(schemes)*len(traces))
+	for _, s := range schemes {
+		for _, p := range traces {
+			jobs = append(jobs, o.schemeJob(s, p))
+		}
+	}
+	sts := o.pool().Run(jobs)
+	base := make([]float64, len(traces))
+	for i := range traces {
+		base[i] = sts[i].IPC() // schemes[0] is Traditional
+	}
+	for si, s := range schemes {
+		for i := range traces {
+			res.Speedup[s] = append(res.Speedup[s], sts[si*len(traces)+i].IPC()/base[i])
 		}
 	}
 	return res

@@ -5,6 +5,7 @@ import (
 
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -40,31 +41,57 @@ type Fig8Cell struct {
 
 // Fig8 reproduces Figure 8 (Speedup vs Machine Configuration): wider
 // machines gain more from better memory ordering; SysmarkNT and SpecInt
-// benefit most (8–17% in the paper), the Others less (5–10%).
+// benefit most (8–17% in the paper), the Others less (5–10%). Every
+// (group, machine, scheme, trace) run executes concurrently; the EU2 MEM2
+// Traditional point is the §3.1 baseline, so it shares its memoized result
+// with Figures 5–7.
 func Fig8(o Options) []Fig8Cell {
-	var cells []Fig8Cell
+	type block struct {
+		gname  string
+		m      MachineConfig
+		traces []trace.Profile
+		start  int // index of the block's Traditional jobs; schemes follow
+	}
+	var blocks []block
+	var jobs []runner.Job
 	for _, gname := range Fig8Groups {
 		traces := fig8Traces(o, gname)
 		for _, m := range Fig8Machines {
-			mk := func(s memdep.Scheme) ooo.Config {
-				cfg := baseConfig(s)
-				cfg.IntUnits = m.IntUnits
-				cfg.MemUnits = m.MemUnits
-				return cfg
+			mk := func(s memdep.Scheme) func() ooo.Config {
+				return func() ooo.Config {
+					cfg := baseConfig(s)
+					cfg.IntUnits = m.IntUnits
+					cfg.MemUnits = m.MemUnits
+					return cfg
+				}
 			}
-			base := make([]float64, len(traces))
-			for i, p := range traces {
-				base[i] = o.run(mk(memdep.Traditional), p).IPC()
+			blocks = append(blocks, block{gname: gname, m: m, traces: traces, start: len(jobs)})
+			for _, p := range traces {
+				jobs = append(jobs, o.job(mk(memdep.Traditional), p))
 			}
 			for _, s := range fig8Schemes {
-				sp := make([]float64, len(traces))
-				for i, p := range traces {
-					sp[i] = o.run(mk(s), p).IPC() / base[i]
+				for _, p := range traces {
+					jobs = append(jobs, o.job(mk(s), p))
 				}
-				cells = append(cells, Fig8Cell{
-					Group: gname, Machine: m, Scheme: s, Speedup: stats.GeoMean(sp),
-				})
 			}
+		}
+	}
+	sts := o.pool().Run(jobs)
+	var cells []Fig8Cell
+	for _, b := range blocks {
+		n := len(b.traces)
+		base := make([]float64, n)
+		for i := 0; i < n; i++ {
+			base[i] = sts[b.start+i].IPC()
+		}
+		for si, s := range fig8Schemes {
+			sp := make([]float64, n)
+			for i := 0; i < n; i++ {
+				sp[i] = sts[b.start+(si+1)*n+i].IPC() / base[i]
+			}
+			cells = append(cells, Fig8Cell{
+				Group: b.gname, Machine: b.m, Scheme: s, Speedup: stats.GeoMean(sp),
+			})
 		}
 	}
 	return cells

@@ -5,6 +5,7 @@ import (
 
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -50,6 +51,11 @@ func fig9Sweeps() []fig9Sweep {
 // the sticky tagged-only table minimizes AC-PNC at the cost of ANC-PC; the
 // combined table pushes AC-PNC lowest of all; the tagless table improves
 // steadily with size as aliasing fades.
+//
+// The simulator passes that gather the collision streams are independent
+// per trace and execute concurrently; the predictors, whose state carries
+// across trace boundaries, then classify the captured streams serially in
+// trace order — exactly the event sequence the serial pass produced.
 func Fig9(o Options) []Fig9Row {
 	type slot struct {
 		pred memdep.Predictor
@@ -70,10 +76,17 @@ func Fig9(o Options) []Fig9Row {
 		}
 	}
 
-	for _, p := range o.groupTraces(trace.GroupSysmarkNT) {
+	traces := o.groupTraces(trace.GroupSysmarkNT)
+	streams := runner.Map(o.pool(), len(traces), func(ti int) []ooo.LoadEvent {
+		var evs []ooo.LoadEvent
 		cfg := baseConfig(memdep.Traditional)
-		cfg.WarmupUops = o.Warmup
-		cfg.OnLoadRetire = func(ev ooo.LoadEvent) {
+		cfg.WarmupUops = o.EffectiveWarmup()
+		cfg.OnLoadRetire = func(ev ooo.LoadEvent) { evs = append(evs, ev) }
+		ooo.NewEngine(cfg, trace.New(traces[ti])).Run(o.Uops)
+		return evs
+	})
+	for _, evs := range streams {
+		for _, ev := range evs {
 			for _, s := range slots {
 				pred := s.pred.Lookup(ev.IP).Colliding
 				s.row.Class.Loads++
@@ -92,8 +105,6 @@ func Fig9(o Options) []Fig9Row {
 				s.pred.Record(ev.IP, ev.Colliding, ev.Distance)
 			}
 		}
-		e := ooo.NewEngine(cfg, trace.New(p))
-		e.Run(o.Uops)
 	}
 	return rows
 }

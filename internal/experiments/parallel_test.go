@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"loadsched/internal/runner"
+	"loadsched/internal/stats"
+)
+
+// parallelOptions builds the quick preset on an isolated pool, so the test
+// runs do not share results with each other (or anything else in the
+// process) through the shared cache.
+func parallelOptions(workers int) Options {
+	o := Quick()
+	o.Uops, o.Warmup = 15_000, 4_000
+	o.TracesPerGroup = 1
+	o.Pool = runner.NewIsolated(workers, runner.NewCache())
+	return o
+}
+
+// TestFiguresDeterministicAcrossWorkers renders every figure's table
+// serially and on a wide pool and requires byte-identical text — the
+// property that makes -j safe to default on.
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	figures := map[string]func(Options) stats.Table{
+		"fig5":     func(o Options) stats.Table { return Fig5Table(Fig5(o)) },
+		"fig6":     func(o Options) stats.Table { return Fig6Table(Fig6(o)) },
+		"fig7":     func(o Options) stats.Table { return Fig7Table(Fig7(o)) },
+		"fig8":     func(o Options) stats.Table { return Fig8Table(Fig8(o)) },
+		"fig9":     func(o Options) stats.Table { return Fig9Table(Fig9(o)) },
+		"fig10":    func(o Options) stats.Table { return Fig10Table(Fig10(o)) },
+		"fig11":    func(o Options) stats.Table { return Fig11Table(Fig11(o)) },
+		"fig12":    func(o Options) stats.Table { return Fig12Table(Fig12(o)) },
+		"policies": func(o Options) stats.Table { return BankPoliciesTable(BankPolicies(o)) },
+	}
+	for name, fig := range figures {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serialTbl, wideTbl := fig(parallelOptions(1)), fig(parallelOptions(8))
+			serial, wide := serialTbl.String(), wideTbl.String()
+			if serial != wide {
+				t.Fatalf("-j1 and -j8 tables differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, wide)
+			}
+		})
+	}
+}
+
+// TestMemoizationSharesBaseline runs Figure 5 then Figure 7 on one pool and
+// checks the cache grew by less than the two figures' combined job count:
+// the Traditional baseline submitted by both figures is keyed identically
+// and simulated once.
+func TestMemoizationSharesBaseline(t *testing.T) {
+	cache := runner.NewCache()
+	o := parallelOptions(4)
+	o.Pool = runner.NewIsolated(4, cache)
+	Fig5(o)
+	afterFig5 := cache.Len()
+	if afterFig5 == 0 {
+		t.Fatal("Fig5 populated no cache entries")
+	}
+	Fig7(o)
+	afterFig7 := cache.Len()
+	// Fig7 adds one entry per (non-Traditional scheme, trace); its
+	// Traditional jobs must all be cache hits from Fig5.
+	tracesNT := len(o.groupTraces("SysmarkNT"))
+	wantNew := 5 * tracesNT // Opportunistic..Perfect
+	if got := afterFig7 - afterFig5; got != wantNew {
+		t.Fatalf("Fig7 added %d cache entries, want %d (Traditional baseline must be shared)",
+			got, wantNew)
+	}
+}
+
+// TestEffectiveWarmup pins the sentinel semantics: zero stays zero at this
+// layer (defaults are the caller's business), negatives clamp to zero.
+func TestEffectiveWarmup(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{40_000, 40_000}, {0, 0}, {NoWarmup, 0}, {-5, 0},
+	} {
+		if got := (Options{Warmup: tc.in}).EffectiveWarmup(); got != tc.want {
+			t.Errorf("EffectiveWarmup(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

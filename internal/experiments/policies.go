@@ -4,6 +4,7 @@ import (
 	"loadsched/internal/bankpred"
 	"loadsched/internal/cache"
 	"loadsched/internal/predict"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 	"loadsched/internal/uop"
@@ -20,7 +21,10 @@ type BankPolicyRow struct {
 // majority vote", "a weight was assigned to each predictor ... only if this
 // sum exceeded a predefined threshold", "only those predictions with a high
 // confidence were taken into account", "a different weight was assigned
-// according to the confidence level"), over the SpecInt95 load stream.
+// according to the confidence level"), over the SpecInt95 load stream. The
+// combined predictors are reset between traces, so each trace's replay is
+// independent: replays run concurrently with fresh predictors and their
+// tallies merge in trace order.
 func BankPolicies(o Options) []BankPolicyRow {
 	banking := cache.DefaultBanking()
 	mk := func(policy predict.Policy, threshold, minConf int) *predict.Combined {
@@ -35,35 +39,48 @@ func BankPolicies(o Options) []BankPolicyRow {
 			MinConfidence: minConf,
 		}
 	}
-	configs := []struct {
-		name string
-		comb *predict.Combined
-	}{
-		{"majority", mk(predict.Majority, 0, 0)},
-		{"weighted-sum", mk(predict.WeightedSum, 2, 0)},
-		{"high-confidence", mk(predict.HighConfidence, 0, 2)},
-		{"confidence-weighted", mk(predict.ConfidenceWeighted, 8, 0)},
+	type policyConfig struct {
+		name      string
+		policy    predict.Policy
+		threshold int
+		minConf   int
 	}
-	tallies := make([]bankpred.Stats, len(configs))
-	for _, p := range o.groupTraces(trace.GroupSpecInt95) {
-		g := trace.New(p)
-		total := o.Warmup + o.Uops
+	configs := []policyConfig{
+		{"majority", predict.Majority, 0, 0},
+		{"weighted-sum", predict.WeightedSum, 2, 0},
+		{"high-confidence", predict.HighConfidence, 0, 2},
+		{"confidence-weighted", predict.ConfidenceWeighted, 8, 0},
+	}
+	profiles := o.groupTraces(trace.GroupSpecInt95)
+	warmup := o.EffectiveWarmup()
+	parts := runner.Map(o.pool(), len(profiles), func(ti int) []bankpred.Stats {
+		combs := make([]*predict.Combined, len(configs))
+		for i, c := range configs {
+			combs[i] = mk(c.policy, c.threshold, c.minConf)
+		}
+		tallies := make([]bankpred.Stats, len(configs))
+		g := trace.New(profiles[ti])
+		total := warmup + o.Uops
 		for i := 0; i < total; i++ {
 			u := g.Next()
 			if u.Kind != uop.Load {
 				continue
 			}
 			actual := banking.BankOf(u.Addr) == 1
-			for j, c := range configs {
-				r := c.comb.PredictRated(u.IP)
-				if i >= o.Warmup {
+			for j, comb := range combs {
+				r := comb.PredictRated(u.IP)
+				if i >= warmup {
 					tallies[j].Record(r.Predicted, r.Predicted && r.Taken == actual)
 				}
-				c.comb.Update(u.IP, actual)
+				comb.Update(u.IP, actual)
 			}
 		}
-		for _, c := range configs {
-			c.comb.Reset()
+		return tallies
+	})
+	tallies := make([]bankpred.Stats, len(configs))
+	for _, part := range parts {
+		for i := range tallies {
+			tallies[i].Add(part[i])
 		}
 	}
 	rows := make([]BankPolicyRow, len(configs))

@@ -11,6 +11,8 @@
 package hitmiss
 
 import (
+	"fmt"
+
 	"loadsched/internal/cache"
 	"loadsched/internal/predict"
 )
@@ -46,12 +48,18 @@ func (AlwaysHit) Reset() {}
 // Name implements Predictor.
 func (AlwaysHit) Name() string { return "always-hit" }
 
+// Describe canonically identifies the predictor for the simulation runner's
+// memo keys.
+func (AlwaysHit) Describe() string { return "always-hit" }
+
 // binaryAdapter adapts a predict.Binary (which predicts "taken") to hit-miss
 // prediction. The binary outcome is MISS (the rare event), so an unwarmed
-// table defaults to predicting hits.
+// table defaults to predicting hits. desc canonically records the wrapped
+// predictor's construction geometry for memo keys.
 type binaryAdapter struct {
 	bin  predict.Binary
 	name string
+	desc string
 }
 
 // PredictHit implements Predictor.
@@ -70,16 +78,21 @@ func (a *binaryAdapter) Reset() { a.bin.Reset() }
 // Name implements Predictor.
 func (a *binaryAdapter) Name() string { return a.name }
 
+// Describe canonically identifies a freshly built predictor for memo keys.
+func (a *binaryAdapter) Describe() string { return a.desc }
+
 // NewLocal returns the paper's local hit-miss predictor: a tagless table of
 // 2048 entries recording the 8-outcome hit/miss history of each load (~2KB).
 func NewLocal() Predictor {
-	return &binaryAdapter{bin: predict.NewLocal(11, 8, 2).WithInit(0), name: "local"}
+	return &binaryAdapter{bin: predict.NewLocal(11, 8, 2).WithInit(0), name: "local",
+		desc: "local(11,8,2)"}
 }
 
 // NewLocalSized returns a local predictor with explicit geometry, for
 // sensitivity sweeps.
 func NewLocalSized(indexBits, historyLen uint) Predictor {
-	return &binaryAdapter{bin: predict.NewLocal(indexBits, historyLen, 2).WithInit(0), name: "local-sized"}
+	return &binaryAdapter{bin: predict.NewLocal(indexBits, historyLen, 2).WithInit(0), name: "local-sized",
+		desc: fmt.Sprintf("local(%d,%d,2)", indexBits, historyLen)}
 }
 
 // NewChooser returns the paper's hybrid predictor: a 512-entry local
@@ -137,6 +150,9 @@ func (c *chooser) Reset() {
 // Name implements Predictor.
 func (c *chooser) Name() string { return "chooser" }
 
+// Describe canonically identifies the fixed-geometry chooser for memo keys.
+func (c *chooser) Describe() string { return "chooser(l9/8,g11/11,k10/20)" }
+
 // Perfect is the oracle predictor: it probes the actual cache state at
 // prediction time. Its speedup bounds what any real HMP can deliver
 // (Figure 11's "Perfect" bars).
@@ -158,6 +174,17 @@ func (p *Perfect) Reset() {}
 
 // Name implements Predictor.
 func (p *Perfect) Name() string { return "perfect" }
+
+// Describe canonically identifies the oracle for memo keys. A Perfect with
+// a pre-wired external hierarchy observes state the description cannot
+// capture, so it returns "" (not memoizable); the common engine-injected
+// form (Hierarchy left nil) is fully determined by the run itself.
+func (p *Perfect) Describe() string {
+	if p.Hierarchy != nil {
+		return ""
+	}
+	return "perfect"
+}
 
 // Outcomes tallies loads into the four hit-miss prediction categories of
 // §2.2.

@@ -42,6 +42,12 @@ func NewStoreBarrier(entries int) *StoreBarrier {
 
 func (b *StoreBarrier) index(storeIP uint64) int { return int((storeIP >> 2) % uint64(b.entries)) }
 
+// Describe canonically identifies a freshly built barrier cache for the
+// simulation runner's memo keys.
+func (b *StoreBarrier) Describe() string {
+	return fmt.Sprintf("barrier(%d,%d,%d)", b.entries, b.Threshold, b.Max)
+}
+
 // ShouldBarrier reports whether the store at storeIP must act as a barrier
 // (all following loads wait until it completes).
 func (b *StoreBarrier) ShouldBarrier(storeIP uint64) bool {

@@ -161,6 +161,12 @@ func (c *FullCHT) Reset() { c.table.clear() }
 // Name implements Predictor.
 func (c *FullCHT) Name() string { return fmt.Sprintf("full-%d", c.entries) }
 
+// Describe canonically identifies a freshly built table for the simulation
+// runner's memo keys: the construction parameters fully determine behavior.
+func (c *FullCHT) Describe() string {
+	return fmt.Sprintf("full(%d,%d,%d,%t)", c.entries, c.ways, c.counterBits, c.trackDistance)
+}
+
 // ImplicitCHT is the Implicit-predictor CHT: tag-only and sticky. Presence
 // in the table *is* the colliding prediction, so the predictor costs zero
 // state bits beyond the tags. Once a load collides it stays predicted
@@ -218,6 +224,11 @@ func (c *ImplicitCHT) Reset() { c.table.clear(); c.records = 0 }
 // Name implements Predictor.
 func (c *ImplicitCHT) Name() string { return fmt.Sprintf("tagged-%d", c.entries) }
 
+// Describe canonically identifies a freshly built table for memo keys.
+func (c *ImplicitCHT) Describe() string {
+	return fmt.Sprintf("tagged(%d,%d,%t,clear=%d)", c.entries, c.ways, c.trackDistance, c.ClearInterval)
+}
+
 // TaglessCHT is the tagless, direct-mapped CHT: an array of 1-bit counters
 // indexed by instruction-pointer bits. Its tiny entries buy many entries but
 // suffer aliasing between loads that share an index.
@@ -273,6 +284,11 @@ func (c *TaglessCHT) Reset() {
 // Name implements Predictor.
 func (c *TaglessCHT) Name() string { return fmt.Sprintf("tagless-%d", c.entries) }
 
+// Describe canonically identifies a freshly built table for memo keys.
+func (c *TaglessCHT) Describe() string {
+	return fmt.Sprintf("tagless(%d,%d,%t)", c.entries, c.counterBits, c.trackDistance)
+}
+
 // CombinedCHT couples an Implicit-predictor CHT with a Tagless CHT ("best of
 // both worlds", §2.1): a load is predicted non-colliding only when there is
 // no tag match AND the tagless state is non-colliding. This maximizes AC-PC
@@ -312,6 +328,11 @@ func (c *CombinedCHT) Reset() { c.tagged.Reset(); c.tagless.Reset() }
 // Name implements Predictor.
 func (c *CombinedCHT) Name() string { return fmt.Sprintf("combined-%d", c.tagged.entries) }
 
+// Describe canonically identifies a freshly built table for memo keys.
+func (c *CombinedCHT) Describe() string {
+	return "combined(" + c.tagged.Describe() + "," + c.tagless.Describe() + ")"
+}
+
 // AlwaysColliding predicts every load colliding; with the Inclusive scheme
 // it degenerates to waiting for all stores, a useful lower-bound baseline.
 type AlwaysColliding struct{}
@@ -328,6 +349,9 @@ func (AlwaysColliding) Reset() {}
 // Name implements Predictor.
 func (AlwaysColliding) Name() string { return "always-colliding" }
 
+// Describe canonically identifies the predictor for memo keys.
+func (AlwaysColliding) Describe() string { return "always-colliding" }
+
 // NeverColliding predicts every load non-colliding; with the Inclusive
 // scheme it reproduces the Opportunistic scheme.
 type NeverColliding struct{}
@@ -343,3 +367,6 @@ func (NeverColliding) Reset() {}
 
 // Name implements Predictor.
 func (NeverColliding) Name() string { return "never-colliding" }
+
+// Describe canonically identifies the predictor for memo keys.
+func (NeverColliding) Describe() string { return "never-colliding" }

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// Key identifies one simulation for memoization: a canonical machine
+// description plus the full workload identity. trace.Profile is a pure value
+// struct (equal profiles generate identical traces), so the key is
+// comparable and collision-free by construction.
+type Key struct {
+	Machine      string
+	Profile      trace.Profile
+	Uops, Warmup int
+}
+
+// Describer is implemented by predictors whose behavior is fully determined
+// by their construction parameters. Describe returns a canonical description
+// used in memo keys, or "" when this particular instance carries state the
+// description cannot capture (which disables memoization for configs holding
+// it).
+type Describer interface {
+	Describe() string
+}
+
+// ConfigKey derives the canonical machine description of a configuration,
+// or ok=false when the configuration is not memoizable: it carries
+// observation callbacks (whose side effects a cached result would not
+// replay) or a predictor that does not describe itself.
+func ConfigKey(cfg ooo.Config) (key string, ok bool) {
+	if cfg.OnLoadRetire != nil || cfg.OnMemoryLoad != nil {
+		return "", false
+	}
+	cht, ok := describe(cfg.CHT == nil, cfg.CHT)
+	if !ok {
+		return "", false
+	}
+	hmp, ok := describe(cfg.HMP == nil, cfg.HMP)
+	if !ok {
+		return "", false
+	}
+	bar, ok := describe(cfg.Barrier == nil, cfg.Barrier)
+	if !ok {
+		return "", false
+	}
+	bp, ok := describe(cfg.BankPredictor == nil, cfg.BankPredictor)
+	if !ok {
+		return "", false
+	}
+	// Scalar fields (including the Hier/Lat/Banking value structs) print
+	// canonically once the interface, pointer and callback fields are
+	// cleared; new scalar knobs are picked up automatically.
+	flat := cfg
+	flat.CHT, flat.HMP, flat.Barrier, flat.BankPredictor = nil, nil, nil, nil
+	flat.OnLoadRetire, flat.OnMemoryLoad = nil, nil
+	return fmt.Sprintf("%+v|cht=%s|hmp=%s|barrier=%s|bank=%s", flat, cht, hmp, bar, bp), true
+}
+
+// describe resolves one pluggable component to its canonical description.
+func describe(isNil bool, x any) (string, bool) {
+	if isNil {
+		return "-", true
+	}
+	d, ok := x.(Describer)
+	if !ok {
+		return "", false
+	}
+	s := d.Describe()
+	return s, s != ""
+}
+
+// Cache memoizes simulation results by Key with single-flight semantics:
+// concurrent requests for the same key block until the first computes it.
+// It is safe for concurrent use and only ever grows; entries are small
+// (ooo.Stats values), and the number of distinct (machine, trace, length)
+// combinations a process explores bounds its size.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+}
+
+type cacheEntry struct {
+	done  chan struct{}
+	stats ooo.Stats
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[Key]*cacheEntry{}} }
+
+// shared is the process-wide cache used by pools from New.
+var shared = NewCache()
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// Do returns the memoized result for k, computing it with compute on the
+// first request. compute runs at most once per key for the cache's lifetime.
+func (c *Cache) Do(k Key, compute func() ooo.Stats) ooo.Stats {
+	c.mu.Lock()
+	e, hit := c.m[k]
+	if hit {
+		c.mu.Unlock()
+		<-e.done
+		return e.stats
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	c.m[k] = e
+	c.mu.Unlock()
+	defer close(e.done)
+	e.stats = compute()
+	return e.stats
+}
+
+// Len reports the number of memoized simulations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

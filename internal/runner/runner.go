@@ -1,0 +1,133 @@
+// Package runner executes independent trace-driven simulations on a bounded
+// worker pool with deterministic, order-preserving result collection, plus a
+// keyed memoization cache so identical (machine, trace, length) runs — most
+// notably the Traditional baseline shared by every figure and sweep — are
+// simulated exactly once per process.
+//
+// Determinism: each simulation is a pure function of its Job (the engine,
+// trace generator and predictors share no mutable state across instances),
+// so executing a job list on 1 worker or N workers yields identical result
+// slices; only wall-clock time changes. The experiment drivers build their
+// tables from those slices in job order, which keeps rendered output
+// byte-identical across -j settings.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// Job is one simulation request: a machine configuration, a synthetic
+// workload, and the measured/warmup lengths.
+type Job struct {
+	// Build constructs the machine configuration. It is called exactly once
+	// per executed job and MUST return a freshly built Config: predictors
+	// (CHT, HMP, bank predictor) are stateful and trained during the run,
+	// and the engine itself patches oracle predictors in place, so a Config
+	// may never be shared between executions.
+	Build func() ooo.Config
+	// Profile is the synthetic workload to simulate.
+	Profile trace.Profile
+	// Uops is the measured length; Warmup is the unmeasured prefix. The
+	// runner owns Config.WarmupUops — any value set by Build is overwritten
+	// with Warmup.
+	Uops, Warmup int
+}
+
+// simulate runs the job's simulation from scratch.
+func (j Job) simulate() ooo.Stats {
+	cfg := j.Build()
+	cfg.WarmupUops = j.Warmup
+	return ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops)
+}
+
+// Pool is a bounded-concurrency simulation executor. The zero value is not
+// usable; construct with New or NewIsolated.
+type Pool struct {
+	workers int
+	cache   *Cache
+}
+
+// New returns a pool with the given concurrency bound that memoizes on the
+// process-wide shared cache. workers <= 0 selects GOMAXPROCS; workers == 1
+// executes jobs serially on the calling goroutine.
+func New(workers int) *Pool {
+	return &Pool{workers: workers, cache: shared}
+}
+
+// NewIsolated returns a pool with its own cache (or none, when cache is
+// nil — every job then simulates from scratch). Benchmarks and determinism
+// tests use isolated pools so runs do not share results through the
+// process-wide cache.
+func NewIsolated(workers int, cache *Cache) *Pool {
+	return &Pool{workers: workers, cache: cache}
+}
+
+// Workers resolves the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p.workers > 0 {
+		return p.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do executes one job, through the memoization cache when the job's
+// configuration is describable (see ConfigKey).
+func (p *Pool) Do(j Job) ooo.Stats {
+	cfg := j.Build()
+	cfg.WarmupUops = j.Warmup
+	run := func() ooo.Stats { return ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops) }
+	if p.cache == nil {
+		return run()
+	}
+	desc, ok := ConfigKey(cfg)
+	if !ok {
+		return run()
+	}
+	return p.cache.Do(Key{Machine: desc, Profile: j.Profile, Uops: j.Uops, Warmup: j.Warmup}, run)
+}
+
+// Run executes every job and returns their statistics in job order,
+// regardless of completion order. Identical jobs (equal keys) are simulated
+// once and share the result.
+func (p *Pool) Run(jobs []Job) []ooo.Stats {
+	return Map(p, len(jobs), func(i int) ooo.Stats { return p.Do(jobs[i]) })
+}
+
+// Map evaluates fn(0..n-1) on the pool's workers and returns the results in
+// index order. It is the generic fan-out primitive behind Pool.Run, used
+// directly by experiments whose unit of work is not a plain engine run
+// (event-stream capture, statistical predictor replays).
+func Map[T any](p *Pool, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"loadsched/internal/cache"
+	"loadsched/internal/hitmiss"
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+func testProfile(t *testing.T) trace.Profile {
+	t.Helper()
+	p, ok := trace.TraceByName(trace.GroupSysmarkNT, "ex")
+	if !ok {
+		t.Fatal("SysmarkNT/ex missing")
+	}
+	return p
+}
+
+func testJob(t *testing.T, scheme memdep.Scheme) Job {
+	return Job{
+		Build: func() ooo.Config {
+			cfg := ooo.DefaultConfig()
+			cfg.Scheme = scheme
+			if scheme.UsesCHT() {
+				cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+			}
+			return cfg
+		},
+		Profile: testProfile(t),
+		Uops:    5_000,
+		Warmup:  1_000,
+	}
+}
+
+func TestMapOrderPreserving(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		p := NewIsolated(workers, nil)
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(NewIsolated(4, nil), 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map over zero items returned %v", got)
+	}
+}
+
+// TestCacheSingleFlight hammers one key from many goroutines and requires
+// the compute function to run exactly once, with every caller seeing its
+// result. Run under -race this also proves the cache is race-free.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	k := Key{Machine: "m", Uops: 1, Warmup: 0}
+	var calls atomic.Int32
+	want := ooo.Stats{Cycles: 42, Uops: 99}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := c.Do(k, func() ooo.Stats {
+				calls.Add(1)
+				return want
+			})
+			if got != want {
+				t.Errorf("got %+v, want %+v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheDistinctKeys checks keys do not collide across the fields.
+func TestCacheDistinctKeys(t *testing.T) {
+	c := NewCache()
+	keys := []Key{
+		{Machine: "a", Uops: 1},
+		{Machine: "b", Uops: 1},
+		{Machine: "a", Uops: 2},
+		{Machine: "a", Uops: 1, Warmup: 7},
+	}
+	for i, k := range keys {
+		c.Do(k, func() ooo.Stats { return ooo.Stats{Cycles: int64(i)} })
+	}
+	if c.Len() != len(keys) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(keys))
+	}
+	for i, k := range keys {
+		got := c.Do(k, func() ooo.Stats { t.Error("recompute"); return ooo.Stats{} })
+		if got.Cycles != int64(i) {
+			t.Fatalf("key %d returned cycles %d", i, got.Cycles)
+		}
+	}
+}
+
+// TestPoolMemoizesIdenticalJobs submits the same describable job many times
+// concurrently and requires exactly one simulation.
+func TestPoolMemoizesIdenticalJobs(t *testing.T) {
+	var builds atomic.Int32
+	p := NewIsolated(8, NewCache())
+	job := testJob(t, memdep.Traditional)
+	inner := job.Build
+	job.Build = func() ooo.Config { builds.Add(1); return inner() }
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	sts := p.Run(jobs)
+	for i := 1; i < len(sts); i++ {
+		if sts[i] != sts[0] {
+			t.Fatalf("job %d diverged from job 0", i)
+		}
+	}
+	// Build runs once per Do for keying; the single-flight cache must keep
+	// the simulation count at one (asserted via cache length below), so
+	// Build never runs more than once per submitted job.
+	if n := builds.Load(); n > int32(len(jobs)) {
+		t.Fatalf("Build called %d times for %d identical jobs", n, len(jobs))
+	}
+	if p.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", p.cache.Len())
+	}
+}
+
+// TestPoolDeterministicAcrossWorkers runs the same job list serially and on
+// many workers (isolated caches) and requires identical result slices.
+func TestPoolDeterministicAcrossWorkers(t *testing.T) {
+	schemes := memdep.Schemes()
+	mkJobs := func() []Job {
+		jobs := make([]Job, 0, len(schemes)*2)
+		for _, s := range schemes {
+			jobs = append(jobs, testJob(t, s), testJob(t, s))
+		}
+		return jobs
+	}
+	serial := NewIsolated(1, NewCache()).Run(mkJobs())
+	for _, workers := range []int{2, 8} {
+		par := NewIsolated(workers, NewCache()).Run(mkJobs())
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: job %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestConfigKeyCallbacksNotMemoizable: jobs observing per-load events must
+// never share memoized results.
+func TestConfigKeyCallbacksNotMemoizable(t *testing.T) {
+	cfg := ooo.DefaultConfig()
+	if _, ok := ConfigKey(cfg); !ok {
+		t.Fatal("default config must be memoizable")
+	}
+	cb := cfg
+	cb.OnLoadRetire = func(ooo.LoadEvent) {}
+	if _, ok := ConfigKey(cb); ok {
+		t.Fatal("OnLoadRetire config must not be memoizable")
+	}
+	cb = cfg
+	cb.OnMemoryLoad = func(int64, bool) {}
+	if _, ok := ConfigKey(cb); ok {
+		t.Fatal("OnMemoryLoad config must not be memoizable")
+	}
+}
+
+// TestConfigKeyDistinguishesMachines: distinct machines must key apart, and
+// the key must reflect predictor geometry, not just presence.
+func TestConfigKeyDistinguishesMachines(t *testing.T) {
+	mk := func(mut func(*ooo.Config)) string {
+		cfg := ooo.DefaultConfig()
+		mut(&cfg)
+		k, ok := ConfigKey(cfg)
+		if !ok {
+			t.Fatalf("config not memoizable: %+v", cfg)
+		}
+		return k
+	}
+	seen := map[string]string{}
+	for name, mut := range map[string]func(*ooo.Config){
+		"default":  func(c *ooo.Config) {},
+		"window64": func(c *ooo.Config) { c.Window = 64 },
+		"excl2k": func(c *ooo.Config) {
+			c.Scheme = memdep.Exclusive
+			c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+		},
+		"excl512": func(c *ooo.Config) {
+			c.Scheme = memdep.Exclusive
+			c.CHT = memdep.NewFullCHT(512, 4, 2, true)
+		},
+		"hmp": func(c *ooo.Config) { c.HMP = hitmiss.NewLocal() },
+	} {
+		k := mk(mut)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("configs %q and %q share key %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestConfigKeyPresetPerfectHMPNotMemoizable: a Perfect HMP with a pre-wired
+// hierarchy is external state the key cannot name.
+func TestConfigKeyPresetPerfectHMPNotMemoizable(t *testing.T) {
+	cfg := ooo.DefaultConfig()
+	cfg.HMP = &hitmiss.Perfect{}
+	if _, ok := ConfigKey(cfg); !ok {
+		t.Fatal("fresh Perfect HMP must be memoizable")
+	}
+	pre := &hitmiss.Perfect{Hierarchy: cache.NewHierarchy(cache.DefaultHierarchyConfig())}
+	cfg.HMP = pre
+	if _, ok := ConfigKey(cfg); ok {
+		t.Fatal("pre-wired Perfect HMP must not be memoizable")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := NewIsolated(3, nil).Workers(); w != 3 {
+		t.Fatalf("Workers() = %d, want 3", w)
+	}
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("GOMAXPROCS pool resolved %d workers", w)
+	}
+}
+
+func TestSharedCacheProcessWide(t *testing.T) {
+	a, b := New(1), New(4)
+	if a.cache != b.cache {
+		t.Fatal("New pools must share the process-wide cache")
+	}
+	if a.cache == nil {
+		t.Fatal("shared cache is nil")
+	}
+}
+
+// guard: Key must stay comparable (it is a map key).
+var _ = map[Key]bool{}

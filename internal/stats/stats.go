@@ -107,22 +107,32 @@ func Mean(xs []float64) float64 {
 }
 
 // GeoMean returns the geometric mean of xs (0 for an empty slice); speedup
-// averages across traces use it, as is conventional.
+// averages across traces use it, as is conventional. Non-positive values,
+// for which the geometric mean is undefined, are excluded; callers that need
+// to detect such values use GeoMeanCounted.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+	m, _ := GeoMeanCounted(xs)
+	return m
+}
+
+// GeoMeanCounted returns the geometric mean of the positive values of xs and
+// the number of non-positive values that had to be excluded. A non-zero
+// count signals a degenerate input — a zero-IPC simulation or a corrupted
+// speedup — that a plain GeoMean would silently absorb; table producers
+// surface it as a warning. The mean is 0 when no positive values remain.
+func GeoMeanCounted(xs []float64) (mean float64, dropped int) {
 	logSum := 0.0
 	n := 0
 	for _, x := range xs {
 		if x <= 0 {
+			dropped++
 			continue
 		}
 		logSum += math.Log(x)
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, dropped
 	}
-	return math.Exp(logSum / float64(n))
+	return math.Exp(logSum / float64(n)), dropped
 }

@@ -168,3 +168,35 @@ func TestBarChartCustomFormat(t *testing.T) {
 		t.Fatalf("custom format ignored: %q", c.String())
 	}
 }
+
+func TestGeoMeanCounted(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		in      []float64
+		want    float64
+		dropped int
+	}{
+		{"all-positive", []float64{1, 1, 1}, 1, 0},
+		{"one-zero", []float64{2, 0, 8}, 4, 1},
+		{"one-negative", []float64{2, -3, 8}, 4, 1},
+		{"all-dropped", []float64{0, -1}, 0, 2},
+		{"empty", nil, 0, 0},
+	} {
+		m, d := GeoMeanCounted(tc.in)
+		if math.Abs(m-tc.want) > 1e-12 || d != tc.dropped {
+			t.Errorf("%s: GeoMeanCounted(%v) = (%v, %d), want (%v, %d)",
+				tc.name, tc.in, m, d, tc.want, tc.dropped)
+		}
+	}
+}
+
+// TestGeoMeanMatchesCounted: the plain form is exactly the counted form's
+// mean, for any input.
+func TestGeoMeanMatchesCounted(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		m, _ := GeoMeanCounted(xs)
+		return GeoMean(xs) == m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,8 +23,14 @@ import (
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
 	"loadsched/internal/trace"
 )
+
+// NoWarmup requests an explicitly empty warmup region. A Workload.Warmup of
+// zero means "default" (40000 uops); NoWarmup (or any negative value) means
+// measurement starts at the first uop.
+const NoWarmup = experiments.NoWarmup
 
 // Scheme selects the memory reference ordering method (§3.1 of the paper).
 type Scheme = memdep.Scheme
@@ -69,7 +75,8 @@ type Workload struct {
 	Trace string
 	// Uops is the measured length (default 200000).
 	Uops int
-	// Warmup is the unmeasured prefix (default 40000).
+	// Warmup is the unmeasured prefix (default 40000). Set NoWarmup (or any
+	// negative value) to measure from the first uop; zero takes the default.
 	Warmup int
 }
 
@@ -98,39 +105,66 @@ type Result struct {
 	Machine  Machine
 }
 
-// Run simulates one workload on one machine.
+// Run simulates one workload on one machine. Results are memoized on the
+// process-wide cache: repeating a (workload, machine) pair returns the
+// recorded statistics without re-simulating.
 func Run(w Workload, m Machine) (Result, error) {
 	w = w.withDefaults()
 	p, ok := trace.TraceByName(w.Group, w.Trace)
 	if !ok {
 		return Result{}, fmt.Errorf("loadsched: unknown trace %s/%s", w.Group, w.Trace)
 	}
-	cfg, err := m.config()
-	if err != nil {
+	if _, err := m.config(); err != nil {
 		return Result{}, err
 	}
-	cfg.WarmupUops = w.Warmup
-	e := ooo.NewEngine(cfg, trace.New(p))
-	return Result{Stats: e.Run(w.Uops), Workload: w, Machine: m}, nil
+	st := runner.New(1).Do(runner.Job{
+		Build: func() ooo.Config {
+			cfg, _ := m.config()
+			return cfg
+		},
+		Profile: p,
+		Uops:    w.Uops,
+		Warmup:  w.warmup(),
+	})
+	return Result{Stats: st, Workload: w, Machine: m}, nil
 }
 
 // Compare runs the workload under every ordering scheme and returns the
-// speedups over Traditional — the experiment of Figure 7 for one trace.
+// speedups over Traditional — the experiment of Figure 7 for one trace. The
+// schemes run concurrently on the process-wide pool; Traditional is
+// simulated once, serving both as the denominator and as its own entry,
+// which is therefore exactly 1.0.
 func Compare(w Workload, m Machine) (map[Scheme]float64, error) {
-	out := make(map[Scheme]float64, 6)
-	m.Scheme = Traditional
-	base, err := Run(w, m)
-	if err != nil {
-		return nil, err
+	wd := w.withDefaults()
+	p, ok := trace.TraceByName(wd.Group, wd.Trace)
+	if !ok {
+		return nil, fmt.Errorf("loadsched: unknown trace %s/%s", wd.Group, wd.Trace)
 	}
-	for _, s := range memdep.Schemes() {
-		m.Scheme = s
-		r, err := Run(w, m)
-		if err != nil {
+	schemes := memdep.Schemes() // schemes[0] is Traditional
+	jobs := make([]runner.Job, len(schemes))
+	for i, s := range schemes {
+		ms := m
+		ms.Scheme = s
+		if _, err := ms.config(); err != nil {
 			return nil, err
 		}
-		out[s] = r.IPC() / base.IPC()
+		jobs[i] = runner.Job{
+			Build: func() ooo.Config {
+				cfg, _ := ms.config()
+				return cfg
+			},
+			Profile: p,
+			Uops:    wd.Uops,
+			Warmup:  w.warmup(),
+		}
 	}
+	sts := runner.New(0).Run(jobs)
+	out := make(map[Scheme]float64, len(schemes))
+	base := sts[0].IPC()
+	for i, s := range schemes {
+		out[s] = sts[i].IPC() / base
+	}
+	out[Traditional] = 1.0
 	return out, nil
 }
 
@@ -148,6 +182,16 @@ func (w Workload) withDefaults() Workload {
 		w.Warmup = 40_000
 	}
 	return w
+}
+
+// warmup resolves the workload's warmup length after defaults: negative
+// (NoWarmup) means an explicitly empty warmup region.
+func (w Workload) warmup() int {
+	wu := w.withDefaults().Warmup
+	if wu < 0 {
+		return 0
+	}
+	return wu
 }
 
 func (m Machine) config() (ooo.Config, error) {

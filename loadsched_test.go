@@ -1,6 +1,10 @@
 package loadsched
 
-import "testing"
+import (
+	"testing"
+
+	"loadsched/internal/runner"
+)
 
 func TestRunDefaults(t *testing.T) {
 	r, err := Run(Workload{Uops: 30000, Warmup: 5000}, Machine{})
@@ -113,5 +117,59 @@ func TestDeterministicFacade(t *testing.T) {
 	b, _ := Run(w, m)
 	if a.Stats != b.Stats {
 		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestWarmupDefaultsAndSentinel(t *testing.T) {
+	for _, tc := range []struct {
+		in   int
+		want int
+	}{
+		{0, 40_000},    // zero means default
+		{5_000, 5_000}, // explicit values pass through
+		{NoWarmup, 0},  // the sentinel requests a truly empty warmup
+		{-7, 0},        // any negative value behaves like NoWarmup
+	} {
+		if got := (Workload{Warmup: tc.in}).warmup(); got != tc.want {
+			t.Errorf("Workload{Warmup: %d}.warmup() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNoWarmupObservable: with the sentinel, measurement starts cold, which
+// must be visible in the statistics (the old coercion to 40K made a
+// zero-warmup run impossible to request).
+func TestNoWarmupObservable(t *testing.T) {
+	cold, err := Run(Workload{Uops: 20_000, Warmup: NoWarmup}, Machine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(Workload{Uops: 20_000, Warmup: 20_000}, Machine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats == warm.Stats {
+		t.Fatal("zero-warmup run produced identical stats to a warmed run; sentinel ignored")
+	}
+}
+
+// TestCompareReusesBaseline: a prior Run of the Traditional machine must
+// make Compare skip re-simulating it — only the five non-Traditional
+// schemes are new work.
+func TestCompareReusesBaseline(t *testing.T) {
+	w := Workload{Group: "SysmarkNT", Trace: "wd", Uops: 17_345, Warmup: 3_456}
+	if _, err := Run(w, Machine{Scheme: Traditional}); err != nil {
+		t.Fatal(err)
+	}
+	before := runner.Shared().Len()
+	sp, err := Compare(w, Machine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.Shared().Len() - before; got != 5 {
+		t.Fatalf("Compare added %d cache entries after a Traditional Run, want 5", got)
+	}
+	if sp[Traditional] != 1.0 {
+		t.Fatalf("Traditional speedup = %v, want exactly 1.0", sp[Traditional])
 	}
 }
