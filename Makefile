@@ -1,10 +1,11 @@
-# Development targets. `make verify` is the PR gate: build, vet, the full
-# test suite under the race detector, and a determinism spot-check that a
-# parallel figure run (-j 8) renders byte-identically to a serial one (-j 1).
+# Development targets. `make verify` is the PR gate: build, gofmt, vet, the
+# full test suite under the race detector, and a determinism spot-check that
+# a parallel figure run (-j 8) renders byte-identically to a serial one
+# (-j 1) in both table and JSON formats.
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench determinism clean
+.PHONY: all build test vet fmt-check race verify bench bench-json determinism clean
 
 all: build
 
@@ -17,22 +18,40 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	@echo "fmt-check: OK"
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=RunnerMultiFigure -benchtime=3x -run='^$$'
 
-# determinism: the CLI's figure tables must not depend on the worker count.
+# bench-json: run the figure benchmarks and snapshot their metrics as
+# structured JSON, so the perf trajectory has machine-readable data points.
+bench-json:
+	$(GO) build -o /tmp/loadsched-benchjson ./cmd/benchjson
+	$(GO) test -bench=Fig -benchtime=2x -benchmem -run='^$$' | /tmp/loadsched-benchjson -o BENCH_results.json
+
+# determinism: neither the CLI's figure tables nor its JSON records may
+# depend on the worker count.
 determinism: build
 	$(GO) build -o /tmp/loadsched-determinism ./cmd/loadsched
 	/tmp/loadsched-determinism all -quick -j 1 > /tmp/loadsched-j1.txt
 	/tmp/loadsched-determinism all -quick -j 8 > /tmp/loadsched-j8.txt
 	cmp /tmp/loadsched-j1.txt /tmp/loadsched-j8.txt
-	@echo "determinism: -j1 and -j8 outputs are byte-identical"
+	/tmp/loadsched-determinism all -quick -format json -j 1 > /tmp/loadsched-j1.json
+	/tmp/loadsched-determinism all -quick -format json -j 8 > /tmp/loadsched-j8.json
+	cmp /tmp/loadsched-j1.json /tmp/loadsched-j8.json
+	@echo "determinism: -j1 and -j8 outputs are byte-identical (table and json)"
 
-verify: build vet race determinism
+verify: build fmt-check vet race determinism
 	@echo "verify: OK"
 
 clean:
-	rm -f /tmp/loadsched-determinism /tmp/loadsched-j1.txt /tmp/loadsched-j8.txt
+	rm -f /tmp/loadsched-determinism /tmp/loadsched-benchjson \
+		/tmp/loadsched-j1.txt /tmp/loadsched-j8.txt \
+		/tmp/loadsched-j1.json /tmp/loadsched-j8.json

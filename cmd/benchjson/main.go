@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output into a versioned
+// JSON snapshot, so the perf trajectory (BENCH_results.json) has structured
+// data points. It reads benchmark lines from stdin:
+//
+//	BenchmarkFig7OrderingSchemes-8   2   123456789 ns/op   1.15 perfect-speedup   12 B/op   3 allocs/op
+//
+// and writes {schema, benchmarks:[{name, procs, runs, metrics{unit:value}}]}.
+//
+//	go test -bench=Fig -benchtime=2x -run='^$' -benchmem | benchjson -o BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and -P
+	// GOMAXPROCS suffix; sub-benchmarks keep their /sub path.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Runs is the iteration count the testing package settled on.
+	Runs int64 `json:"runs"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, or a custom
+	// b.ReportMetric unit like "AC%") to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted envelope.
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// SchemaVersion names the snapshot layout.
+const SchemaVersion = "loadsched.bench/v1"
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output file")
+	flag.Parse()
+
+	snap := Snapshot{Schema: SchemaVersion}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		if b, ok := parseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("reading stdin: %v", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fail("no benchmark lines found on stdin (run `go test -bench=... | benchjson`)")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fail("encoding: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+// parseLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Procs: 1, Metrics: map[string]float64{}}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = p
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Runs = runs
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}

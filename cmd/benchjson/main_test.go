@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig5Classification-8   2   123456789 ns/op   12.5 AC%   1024 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if b.Name != "Fig5Classification" || b.Procs != 8 || b.Runs != 2 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 123456789, "AC%": 12.5, "B/op": 1024, "allocs/op": 3,
+	} {
+		if b.Metrics[unit] != want {
+			t.Errorf("metric %q = %v, want %v", unit, b.Metrics[unit], want)
+		}
+	}
+}
+
+func TestParseLineSubBenchmarkNoProcs(t *testing.T) {
+	b, ok := parseLine("BenchmarkX/sub 5 10.0 ns/op")
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if b.Name != "X/sub" || b.Procs != 1 || b.Runs != 5 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	loadsched	1.2s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 3",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}

@@ -9,7 +9,7 @@
 //	loadsched run [flags]                           one simulation, full stats
 //	loadsched traces                                list the trace groups
 //
-// Flags (figure/all/run):
+// Flags (figure/all/run/sweep):
 //
 //	-uops N     measured uops per trace (default 200000)
 //	-warmup N   warmup uops per trace (default 40000, -1 = none)
@@ -17,6 +17,13 @@
 //	-quick      small preset (60K uops, 2 traces/group)
 //	-j N        concurrent simulations (default GOMAXPROCS, 1 = serial);
 //	            output is byte-identical for every setting
+//	-format F   output format: table (default) | json | csv; json/csv emit
+//	            versioned records (schema loadsched.results/v1)
+//	-out DIR    write one result file per figure into DIR instead of stdout
+//	-v          print a runner observability summary (jobs, memo hits,
+//	            coalesces, sim wall time) to stderr; with -format json the
+//	            counters also ride in the report envelope
+//	-cpuprofile/-memprofile/-trace F   write pprof / execution-trace data
 //
 // Flags (run):
 //
@@ -25,18 +32,28 @@
 //	                    inclusive exclusive perfect)
 //	-window N           scheduling window size
 //	-hmp P              hit-miss predictor (none local chooser perfect)
+//	-json               print the run's statistics as JSON
+//	-exectrace F        execution trace (run's -trace names the workload)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
+	"time"
 
 	"loadsched/internal/experiments"
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/results"
+	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -82,8 +99,10 @@ commands:
   record -o f [flags]     serialize a synthetic trace to a file
   replay -f f [flags]     simulate a recorded trace file
   traces                  list trace groups and members
-run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick -j;
-'run' also takes -group -trace -scheme -window -hmp`)
+run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick -j
+plus -format table|json|csv, -out DIR, -v, -cpuprofile -memprofile -trace;
+'run' also takes -group -trace -scheme -window -hmp -json (and -exectrace
+in place of -trace for execution tracing)`)
 }
 
 func fatal(format string, a ...any) {
@@ -101,56 +120,237 @@ func optionFlags(fs *flag.FlagSet) *experiments.Options {
 }
 
 // applyQuick replaces the options with the quick preset while preserving the
-// flags (like -j) the preset does not cover.
+// flags (like -j) and wiring (the pool) the preset does not cover.
 func applyQuick(o *experiments.Options) {
-	workers := o.Workers
+	workers, pool := o.Workers, o.Pool
 	*o = experiments.Quick()
-	o.Workers = workers
+	o.Workers, o.Pool = workers, pool
+}
+
+// outputOptions are the observability and emission flags shared by the
+// figure, all and sweep commands.
+type outputOptions struct {
+	format     string
+	out        string
+	verbose    bool
+	cpuprofile string
+	memprofile string
+	traceFile  string
+}
+
+func outputFlags(fs *flag.FlagSet) *outputOptions {
+	op := &outputOptions{}
+	fs.StringVar(&op.format, "format", "table", "output format: table | json | csv")
+	fs.StringVar(&op.out, "out", "", "write one result file per figure into this directory")
+	fs.BoolVar(&op.verbose, "v", false, "print a runner observability summary to stderr")
+	op.profileFlags(fs, "trace")
+	return op
+}
+
+// profileFlags registers just the profiling flags. The execution-trace flag
+// name is a parameter because `run` already uses -trace for its workload
+// trace name and registers -exectrace instead.
+func (op *outputOptions) profileFlags(fs *flag.FlagSet, traceFlag string) {
+	fs.StringVar(&op.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&op.memprofile, "memprofile", "", "write an allocation profile to this file")
+	fs.StringVar(&op.traceFile, traceFlag, "", "write a runtime execution trace to this file")
+}
+
+// startProfiling starts the requested pprof/trace collectors and returns the
+// function that stops them and writes the profiles out.
+func (op *outputOptions) startProfiling() func() {
+	var stops []func()
+	if op.cpuprofile != "" {
+		f, err := os.Create(op.cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if op.traceFile != "" {
+		f, err := os.Create(op.traceFile)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal("trace: %v", err)
+		}
+		stops = append(stops, func() { rtrace.Stop(); f.Close() })
+	}
+	if op.memprofile != "" {
+		path := op.memprofile
+		stops = append(stops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile: %v", err)
+			}
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+}
+
+// runnerCounters converts a pool's counter snapshot to the JSON envelope
+// form, for both the -v summary and the report's Runner field.
+func runnerCounters(pool *runner.Pool) results.RunnerCounters {
+	c := pool.Counters()
+	return results.RunnerCounters{
+		Jobs: c.Jobs, Simulated: c.Simulated, MemoHits: c.MemoHits,
+		Coalesced: c.Coalesced, Uncached: c.Uncached, MapTasks: c.MapTasks,
+		SimMillis:    float64(c.SimTime) / float64(time.Millisecond),
+		CacheEntries: pool.CacheLen(),
+	}
 }
 
 func runFigures(figs []string, args []string) {
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	o := optionFlags(fs)
 	quick := fs.Bool("quick", false, "small fast preset")
-	chart := fs.Bool("chart", false, "also render bar charts")
+	chart := fs.Bool("chart", false, "also render bar charts (table format)")
+	op := outputFlags(fs)
 	_ = fs.Parse(args)
 	if *quick {
 		applyQuick(o)
 	}
-	for _, f := range figs {
-		tbl, ch := figureTable(f, *o)
-		tbl.Render(os.Stdout)
-		if *chart && ch != nil {
+	// One pool for the whole invocation, so the -v counters aggregate every
+	// figure's jobs (drivers would otherwise each resolve a fresh pool).
+	pool := runner.New(o.Workers)
+	o.Pool = pool
+	stop := op.startProfiling()
+	defer stop()
+
+	switch op.format {
+	case "table":
+		for _, f := range figs {
+			tbl, ch, _ := figureData(f, *o)
+			if op.out != "" {
+				text := tbl.String()
+				if *chart && ch != nil {
+					text += "\n" + ch.String()
+				}
+				writeOut(op.out, "fig"+f+".txt", []byte(text))
+				continue
+			}
+			tbl.Render(os.Stdout)
+			if *chart && ch != nil {
+				fmt.Println()
+				ch.Render(os.Stdout)
+			}
 			fmt.Println()
-			ch.Render(os.Stdout)
 		}
-		fmt.Println()
+	case "json", "csv":
+		recs := make([]results.Record, 0, len(figs))
+		for _, f := range figs {
+			_, _, rec := figureData(f, *o)
+			recs = append(recs, rec)
+		}
+		command := "figure " + strings.Join(figs, " ")
+		if len(figs) == 8 {
+			command = "all"
+		}
+		report := results.NewReport(command, results.Options{
+			Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup}, recs)
+		if op.verbose {
+			rc := runnerCounters(pool)
+			report.Runner = &rc
+		}
+		if err := report.Validate(); err != nil {
+			fatal("internal: %v", err)
+		}
+		emitReport(report, op)
+	default:
+		fatal("unknown format %q (want table | json | csv)", op.format)
+	}
+	if op.verbose {
+		fmt.Fprintln(os.Stderr, runnerCounters(pool))
 	}
 }
 
-func figureTable(f string, o experiments.Options) (stats.Table, *stats.BarChart) {
+// emitReport writes a validated report to stdout, or one file per record
+// into -out DIR.
+func emitReport(report results.Report, op *outputOptions) {
+	if op.out == "" {
+		var err error
+		if op.format == "json" {
+			err = results.WriteJSON(os.Stdout, report)
+		} else {
+			err = results.WriteReportCSV(os.Stdout, report)
+		}
+		if err != nil {
+			fatal("emit: %v", err)
+		}
+		return
+	}
+	for _, rec := range report.Records {
+		var b strings.Builder
+		var err error
+		if op.format == "json" {
+			// Per-figure files carry the full envelope so each file is
+			// independently consumable.
+			one := report
+			one.Records = []results.Record{rec}
+			err = results.WriteJSON(&b, one)
+		} else {
+			err = results.WriteCSV(&b, rec)
+		}
+		if err != nil {
+			fatal("emit %s: %v", rec.ID, err)
+		}
+		writeOut(op.out, rec.ID+"."+op.format, []byte(b.String()))
+	}
+}
+
+// writeOut writes one output file under dir, creating the directory.
+func writeOut(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal("out: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal("out: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// figureData runs one figure and derives every view — table, chart and
+// structured record — from the same rows, so the driver executes once.
+func figureData(f string, o experiments.Options) (stats.Table, *stats.BarChart, results.Record) {
 	switch f {
 	case "5":
 		rows := experiments.Fig5(o)
-		return experiments.Fig5Table(rows), experiments.Fig5Chart(rows)
+		return experiments.Fig5Table(rows), experiments.Fig5Chart(rows), experiments.Fig5Record(o, rows)
 	case "6":
 		rows := experiments.Fig6(o)
-		return experiments.Fig6Table(rows), experiments.Fig6Chart(rows)
+		return experiments.Fig6Table(rows), experiments.Fig6Chart(rows), experiments.Fig6Record(o, rows)
 	case "7":
 		r := experiments.Fig7(o)
-		return experiments.Fig7Table(r), experiments.Fig7Chart(r)
+		return experiments.Fig7Table(r), experiments.Fig7Chart(r), experiments.Fig7Record(o, r)
 	case "8":
-		return experiments.Fig8Table(experiments.Fig8(o)), nil
+		cells := experiments.Fig8(o)
+		return experiments.Fig8Table(cells), nil, experiments.Fig8Record(o, cells)
 	case "9":
-		return experiments.Fig9Table(experiments.Fig9(o)), nil
+		rows := experiments.Fig9(o)
+		return experiments.Fig9Table(rows), nil, experiments.Fig9Record(o, rows)
 	case "10":
-		return experiments.Fig10Table(experiments.Fig10(o)), nil
+		rows := experiments.Fig10(o)
+		return experiments.Fig10Table(rows), nil, experiments.Fig10Record(o, rows)
 	case "11":
 		cells := experiments.Fig11(o)
-		return experiments.Fig11Table(cells), experiments.Fig11Chart(cells)
+		return experiments.Fig11Table(cells), experiments.Fig11Chart(cells), experiments.Fig11Record(o, cells)
 	case "12":
 		rows := experiments.Fig12(o)
-		return experiments.Fig12Table(rows), experiments.Fig12Chart(rows, 5)
+		return experiments.Fig12Table(rows), experiments.Fig12Chart(rows, 5), experiments.Fig12Record(o, rows)
 	default:
 		fatal("unknown figure %q (want 5-12)", f)
 		panic("unreachable")
@@ -165,6 +365,9 @@ func runSingle(args []string) {
 	scheme := fs.String("scheme", "traditional", "memory ordering scheme")
 	window := fs.Int("window", 32, "scheduling window entries")
 	hmp := fs.String("hmp", "none", "hit-miss predictor: none local chooser perfect")
+	asJSON := fs.Bool("json", false, "print the statistics as JSON")
+	op := &outputOptions{}
+	op.profileFlags(fs, "exectrace")
 	_ = fs.Parse(args)
 
 	p, ok := trace.TraceByName(*group, *traceName)
@@ -193,8 +396,14 @@ func runSingle(args []string) {
 		fatal("unknown hmp %q", *hmp)
 	}
 
+	stop := op.startProfiling()
+	defer stop()
 	e := ooo.NewEngine(cfg, trace.New(p))
 	st := e.Run(o.Uops)
+	if *asJSON {
+		printRunJSON(*group, *traceName, cfg, st)
+		return
+	}
 	printRunStats(*group, *traceName, cfg, st)
 }
 
@@ -205,6 +414,25 @@ func parseScheme(s string) (memdep.Scheme, bool) {
 		}
 	}
 	return 0, false
+}
+
+// printRunJSON emits one run's full statistics as JSON — the single-run
+// counterpart of the figure records (raw ooo.Stats, not a results record).
+func printRunJSON(group, name string, cfg ooo.Config, st ooo.Stats) {
+	env := struct {
+		Schema string    `json:"schema"`
+		Group  string    `json:"group"`
+		Trace  string    `json:"trace"`
+		Scheme string    `json:"scheme"`
+		Window int       `json:"window"`
+		IPC    float64   `json:"ipc"`
+		Stats  ooo.Stats `json:"stats"`
+	}{results.SchemaVersion, group, name, cfg.Scheme.String(), cfg.Window, st.IPC(), st}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		fatal("json: %v", err)
+	}
 }
 
 func printRunStats(group, name string, cfg ooo.Config, st ooo.Stats) {

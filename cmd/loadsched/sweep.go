@@ -8,6 +8,7 @@ import (
 	"loadsched/internal/experiments"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/results"
 	"loadsched/internal/runner"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
@@ -25,10 +26,13 @@ func runSweep(args []string) {
 	o := optionFlags(fs)
 	group := fs.String("group", trace.GroupSysmarkNT, "trace group")
 	quick := fs.Bool("quick", false, "small fast preset")
+	op := outputFlags(fs)
 	_ = fs.Parse(args[1:])
 	if *quick {
 		applyQuick(o)
 	}
+	stop := op.startProfiling()
+	defer stop()
 
 	g, ok := trace.GroupByName(*group)
 	if !ok {
@@ -44,6 +48,7 @@ func runSweep(args []string) {
 	// geo-means the IPCs. mut must be a pure config mutation: it is re-run
 	// for every trace.
 	pool := runner.New(o.Workers)
+	o.Pool = pool
 	run := func(mut func(*ooo.Config)) float64 {
 		jobs := make([]runner.Job, len(traces))
 		for i, p := range traces {
@@ -128,7 +133,34 @@ func runSweep(args []string) {
 	default:
 		fatal("unknown sweep %q (want window | penalty | chtsize | bankpolicies)", kind)
 	}
-	t.Render(os.Stdout)
+	switch op.format {
+	case "table":
+		if op.out != "" {
+			writeOut(op.out, "sweep-"+kind+".txt", []byte(t.String()))
+		} else {
+			t.Render(os.Stdout)
+		}
+	case "json", "csv":
+		// Sweeps emit table-shaped records: positional string cells under
+		// the rendered table's column names.
+		rec := results.NewTable("sweep-"+kind, t.Title, t.Note,
+			results.Options{Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
+			t.Columns, t.Rows)
+		report := results.NewReport("sweep "+kind, rec.Options, []results.Record{rec})
+		if op.verbose {
+			rc := runnerCounters(pool)
+			report.Runner = &rc
+		}
+		if err := report.Validate(); err != nil {
+			fatal("internal: %v", err)
+		}
+		emitReport(report, op)
+	default:
+		fatal("unknown format %q (want table | json | csv)", op.format)
+	}
+	if op.verbose {
+		fmt.Fprintln(os.Stderr, runnerCounters(pool))
+	}
 }
 
 // runRecord implements `loadsched record`: serialize a synthetic trace.

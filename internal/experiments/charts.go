@@ -48,18 +48,27 @@ func Fig7Chart(r Fig7Result) *stats.BarChart {
 	return c
 }
 
-// Fig11Chart draws the per-predictor average HMP speedup.
+// Fig11Chart draws the per-predictor average HMP speedup. Matching the
+// sweep and table producers, non-positive speedups are excluded from the
+// geometric means and surfaced as a caption instead of silently absorbed.
 func Fig11Chart(cells []Fig11Cell) *stats.BarChart {
 	c := &stats.BarChart{
 		Title:    "Average speedup over always-hit scheduling",
 		Baseline: 1,
 	}
 	sums := map[string][]float64{}
+	dropped := 0
 	for _, cell := range cells {
 		sums[cell.Predictor] = append(sums[cell.Predictor], cell.Speedup)
+		dropped += cell.Dropped
 	}
 	for _, p := range Fig11Predictors {
-		c.Add(p, stats.GeoMean(sums[p]))
+		mean, d := stats.GeoMeanCounted(sums[p])
+		dropped += d
+		c.Add(p, mean)
+	}
+	if dropped > 0 {
+		c.Note = fmt.Sprintf("[warning: %d non-positive speedups excluded from means]", dropped)
 	}
 	return c
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
@@ -21,6 +23,9 @@ type Fig11Cell struct {
 	Group     string
 	Predictor string
 	Speedup   float64
+	// Dropped counts non-positive per-trace speedups excluded from the
+	// cell's geometric mean; non-zero flags a degenerate simulation.
+	Dropped int
 }
 
 // fig11Config builds the measurement machine of §4.2: the highest-performing
@@ -84,7 +89,8 @@ func Fig11(o Options) []Fig11Cell {
 			for i := 0; i < b.n; i++ {
 				sp[i] = sts[b.start+(pi+1)*b.n+i].IPC() / base[i]
 			}
-			cells = append(cells, Fig11Cell{Group: b.gname, Predictor: pred, Speedup: stats.GeoMean(sp)})
+			mean, dropped := stats.GeoMeanCounted(sp)
+			cells = append(cells, Fig11Cell{Group: b.gname, Predictor: pred, Speedup: mean, Dropped: dropped})
 		}
 	}
 	return cells
@@ -98,11 +104,13 @@ func Fig11Table(cells []Fig11Cell) stats.Table {
 		Columns: append([]string{"group"}, Fig11Predictors...),
 	}
 	byGroup := map[string]map[string]float64{}
+	dropped := 0
 	for _, c := range cells {
 		if byGroup[c.Group] == nil {
 			byGroup[c.Group] = map[string]float64{}
 		}
 		byGroup[c.Group][c.Predictor] = c.Speedup
+		dropped += c.Dropped
 	}
 	var avg []string
 	for _, g := range Fig11Groups {
@@ -118,8 +126,13 @@ func Fig11Table(cells []Fig11Cell) stats.Table {
 		for _, g := range Fig11Groups {
 			xs = append(xs, byGroup[g][p])
 		}
-		avg = append(avg, stats.F3(stats.GeoMean(xs)))
+		mean, d := stats.GeoMeanCounted(xs)
+		dropped += d
+		avg = append(avg, stats.F3(mean))
 	}
 	t.AddRow(avg...)
+	if dropped > 0 {
+		t.Note += fmt.Sprintf(" [warning: %d non-positive speedups excluded from means]", dropped)
+	}
 	return t
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"loadsched/internal/memdep"
 	"loadsched/internal/runner"
 	"loadsched/internal/stats"
@@ -20,6 +22,13 @@ type Fig7Result struct {
 // Average returns a scheme's geometric-mean speedup across traces.
 func (r *Fig7Result) Average(s memdep.Scheme) float64 {
 	return stats.GeoMean(r.Speedup[s])
+}
+
+// AverageCounted returns the geometric-mean speedup plus the number of
+// non-positive per-trace values the mean had to exclude; a non-zero count
+// flags a degenerate simulation that table and record producers surface.
+func (r *Fig7Result) AverageCounted(s memdep.Scheme) (float64, int) {
+	return stats.GeoMeanCounted(r.Speedup[s])
 }
 
 // Fig7 reproduces Figure 7 (Speedup vs Memory Ordering Scheme) on the
@@ -64,13 +73,19 @@ func Fig7Table(r Fig7Result) stats.Table {
 	}
 	t.Columns = append([]string{"scheme"}, r.Traces...)
 	t.Columns = append(t.Columns, "NT_avg")
+	dropped := 0
 	for _, s := range memdep.Schemes() {
 		row := []string{s.String()}
 		for _, v := range r.Speedup[s] {
 			row = append(row, stats.F3(v))
 		}
-		row = append(row, stats.F3(r.Average(s)))
+		avg, d := r.AverageCounted(s)
+		dropped += d
+		row = append(row, stats.F3(avg))
 		t.AddRow(row...)
+	}
+	if dropped > 0 {
+		t.Note += fmt.Sprintf(" [warning: %d non-positive speedups excluded from averages]", dropped)
 	}
 	return t
 }

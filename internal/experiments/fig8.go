@@ -37,6 +37,9 @@ type Fig8Cell struct {
 	Machine MachineConfig
 	Scheme  memdep.Scheme
 	Speedup float64
+	// Dropped counts non-positive per-trace speedups excluded from the
+	// cell's geometric mean; non-zero flags a degenerate simulation.
+	Dropped int
 }
 
 // Fig8 reproduces Figure 8 (Speedup vs Machine Configuration): wider
@@ -89,8 +92,9 @@ func Fig8(o Options) []Fig8Cell {
 			for i := 0; i < n; i++ {
 				sp[i] = sts[b.start+(si+1)*n+i].IPC() / base[i]
 			}
+			mean, dropped := stats.GeoMeanCounted(sp)
 			cells = append(cells, Fig8Cell{
-				Group: b.gname, Machine: b.m, Scheme: s, Speedup: stats.GeoMean(sp),
+				Group: b.gname, Machine: b.m, Scheme: s, Speedup: mean, Dropped: dropped,
 			})
 		}
 	}
@@ -125,6 +129,7 @@ func Fig8Table(cells []Fig8Cell) stats.Table {
 	}
 	rows := map[key]map[memdep.Scheme]float64{}
 	var order []key
+	dropped := 0
 	for _, c := range cells {
 		k := key{c.Group, c.Machine}
 		if rows[k] == nil {
@@ -132,6 +137,10 @@ func Fig8Table(cells []Fig8Cell) stats.Table {
 			order = append(order, k)
 		}
 		rows[k][c.Scheme] = c.Speedup
+		dropped += c.Dropped
+	}
+	if dropped > 0 {
+		t.Note += fmt.Sprintf(" [warning: %d non-positive speedups excluded from means]", dropped)
 	}
 	for _, k := range order {
 		row := []string{k.g, k.m.Label()}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"loadsched/internal/results"
+)
+
+// TestAllRecords runs the full record sweep once on a quick preset and
+// checks the structural contract the CLI and facade rely on: one valid
+// record per figure ID, in order, with non-empty rows and the echoed
+// options.
+func TestAllRecords(t *testing.T) {
+	o := parallelOptions(8)
+	recs := AllRecords(o)
+	if len(recs) != len(FigureIDs) {
+		t.Fatalf("AllRecords returned %d records, want %d", len(recs), len(FigureIDs))
+	}
+	for i, rec := range recs {
+		if rec.ID != FigureIDs[i] {
+			t.Errorf("record %d has id %q, want %q", i, rec.ID, FigureIDs[i])
+		}
+		if err := rec.Validate(); err != nil {
+			t.Errorf("record %q invalid: %v", rec.ID, err)
+		}
+		if rec.Options != recordOptions(o) {
+			t.Errorf("record %q echoes options %+v", rec.ID, rec.Options)
+		}
+		if n := rowCount(rec); n == 0 {
+			t.Errorf("record %q has no rows", rec.ID)
+		}
+	}
+}
+
+func rowCount(rec results.Record) int {
+	switch rows := rec.Rows.(type) {
+	case []results.ClassificationRow:
+		return len(rows)
+	case []results.SpeedupRow:
+		return len(rows)
+	case []results.CHTRow:
+		return len(rows)
+	case []results.HitMissRow:
+		return len(rows)
+	case []results.BankRow:
+		return len(rows)
+	case [][]string:
+		return len(rows)
+	}
+	return 0
+}
+
+// TestFigureRecordUnknownID pins the error path the CLI surfaces.
+func TestFigureRecordUnknownID(t *testing.T) {
+	if _, err := FigureRecord("fig99", parallelOptions(1)); err == nil {
+		t.Fatal("unknown figure id must error")
+	}
+}
+
+// TestFig5RecordShape spot-checks one record's semantic content: a row per
+// trace group plus the aggregate, with load-share fractions summing to 1.
+func TestFig5RecordShape(t *testing.T) {
+	o := parallelOptions(8)
+	rec := Fig5Record(o, Fig5(o))
+	rows := rec.Rows.([]results.ClassificationRow)
+	if len(rows) < 2 {
+		t.Fatalf("fig5 record has %d rows", len(rows))
+	}
+	if last := rows[len(rows)-1]; last.Key != "average" {
+		t.Errorf("last row key = %q, want average", last.Key)
+	}
+	for _, r := range rows {
+		if r.Loads == 0 {
+			t.Errorf("row %q simulated no loads", r.Key)
+			continue
+		}
+		sum := r.FracAC + r.FracANC + r.FracNoConflict
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("row %q fractions sum to %v, want 1", r.Key, sum)
+		}
+	}
+}

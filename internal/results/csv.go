@@ -1,0 +1,112 @@
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits one record as a CSV block: a `# id — title` comment line, a
+// header row, then one line per row. Headers come from the row type's json
+// tags, so the CSV and JSON column vocabularies coincide. Field values
+// format deterministically (shortest float representation; []float64 joined
+// with ';'), keeping emitted bytes identical across -j settings.
+func WriteCSV(w io.Writer, rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", rec.ID, rec.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if rec.Kind == KindTable {
+		if err := cw.Write(rec.Columns); err != nil {
+			return err
+		}
+		for _, row := range rec.Rows.([][]string) {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	rows := reflect.ValueOf(rec.Rows)
+	rowType := rows.Type().Elem()
+	if err := cw.Write(csvHeader(rowType)); err != nil {
+		return err
+	}
+	for i := 0; i < rows.Len(); i++ {
+		if err := cw.Write(csvCells(rows.Index(i))); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteReportCSV emits every record of a report as consecutive CSV blocks
+// separated by blank lines.
+func WriteReportCSV(w io.Writer, r Report) error {
+	for i, rec := range r.Records {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := WriteCSV(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvHeader derives column names from the row struct's json tags, in field
+// declaration order.
+func csvHeader(t reflect.Type) []string {
+	cols := make([]string, t.NumField())
+	for i := range cols {
+		tag := t.Field(i).Tag.Get("json")
+		if name, _, found := strings.Cut(tag, ","); found || tag != "" {
+			cols[i] = name
+		} else {
+			cols[i] = t.Field(i).Name
+		}
+	}
+	return cols
+}
+
+// csvCells formats one row struct's fields.
+func csvCells(v reflect.Value) []string {
+	cells := make([]string, v.NumField())
+	for i := range cells {
+		cells[i] = csvValue(v.Field(i))
+	}
+	return cells
+}
+
+func csvValue(f reflect.Value) string {
+	switch f.Kind() {
+	case reflect.String:
+		return f.String()
+	case reflect.Bool:
+		return strconv.FormatBool(f.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(f.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(f.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(f.Float(), 'g', -1, 64)
+	case reflect.Slice:
+		parts := make([]string, f.Len())
+		for i := range parts {
+			parts[i] = csvValue(f.Index(i))
+		}
+		return strings.Join(parts, ";")
+	default:
+		return fmt.Sprintf("%v", f.Interface())
+	}
+}

@@ -1,0 +1,90 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the report as indented JSON. Output is deterministic: the
+// encoder visits struct fields in declaration order and the records carry no
+// timing-dependent values (unless Runner was attached explicitly).
+func WriteJSON(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport parses JSON produced by WriteJSON, re-typing each record's
+// rows by its kind so the result round-trips: re-encoding a decoded report
+// reproduces the original bytes.
+func DecodeReport(data []byte) (Report, error) {
+	var raw struct {
+		Schema  string            `json:"schema"`
+		Command string            `json:"command"`
+		Options Options           `json:"options"`
+		Records []json.RawMessage `json:"records"`
+		Runner  *RunnerCounters   `json:"runner"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Report{}, fmt.Errorf("results: decoding report: %w", err)
+	}
+	rep := Report{Schema: raw.Schema, Command: raw.Command, Options: raw.Options, Runner: raw.Runner}
+	for _, msg := range raw.Records {
+		rec, err := DecodeRecord(msg)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep, nil
+}
+
+// DecodeRecord parses one record, re-typing Rows by Kind.
+func DecodeRecord(data []byte) (Record, error) {
+	var raw struct {
+		Schema  string          `json:"schema"`
+		ID      string          `json:"id"`
+		Kind    Kind            `json:"kind"`
+		Title   string          `json:"title"`
+		Note    string          `json:"note"`
+		Options Options         `json:"options"`
+		Columns []string        `json:"columns"`
+		Rows    json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Record{}, fmt.Errorf("results: decoding record: %w", err)
+	}
+	rec := Record{Schema: raw.Schema, ID: raw.ID, Kind: raw.Kind, Title: raw.Title,
+		Note: raw.Note, Options: raw.Options, Columns: raw.Columns}
+	var err error
+	switch raw.Kind {
+	case KindClassification:
+		err = decodeRows[ClassificationRow](raw.Rows, &rec)
+	case KindSpeedup:
+		err = decodeRows[SpeedupRow](raw.Rows, &rec)
+	case KindCHT:
+		err = decodeRows[CHTRow](raw.Rows, &rec)
+	case KindHitMiss:
+		err = decodeRows[HitMissRow](raw.Rows, &rec)
+	case KindBank:
+		err = decodeRows[BankRow](raw.Rows, &rec)
+	case KindTable:
+		err = decodeRows[[]string](raw.Rows, &rec)
+	default:
+		return Record{}, fmt.Errorf("results: record %q has unknown kind %q", raw.ID, raw.Kind)
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("results: record %q: %w", raw.ID, err)
+	}
+	return rec, nil
+}
+
+func decodeRows[T any](data []byte, rec *Record) error {
+	var rows []T
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	rec.Rows = rows
+	return nil
+}

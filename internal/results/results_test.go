@@ -1,0 +1,184 @@
+package results
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureReport builds one hand-assembled record per row kind, with values
+// that exercise the formatting paths (long float fractions, zeros, omitted
+// optional labels, metric vectors).
+func fixtureReport() Report {
+	recs := []Record{
+		New("fig5", KindClassification, "Load Scheduling Classification", "quick fixture",
+			Options{Uops: 1000, Warmup: 100, TracesPerGroup: 1},
+			[]ClassificationRow{
+				{Key: "SysmarkNT", Loads: 300, ACPC: 10, ACPNC: 20, ANCPC: 30, ANCPNC: 140,
+					NotConflicting: 100, FracAC: 0.1, FracANC: 0.5666666666666667, FracNoConflict: 1.0 / 3},
+				{Key: "average", Loads: 0},
+			}),
+		New("fig7", KindSpeedup, "Speedup vs Memory Ordering Scheme", "",
+			Options{Uops: 1000, Warmup: 100},
+			[]SpeedupRow{
+				{Scheme: "Inclusive", Trace: "ex", Speedup: 1.1437},
+				{Scheme: "Inclusive", Aggregate: true, Speedup: 1.15, Dropped: 1},
+				{Group: "SpecInt95", Machine: "EU4 MEM2", Scheme: "Perfect", Aggregate: true, Speedup: 1.17},
+			}),
+		New("fig9", KindCHT, "CHT Performance", "",
+			Options{Uops: 1000, Warmup: 100},
+			[]CHTRow{
+				{Kind: "full", Entries: 2048, Loads: 500, ACPC: 40, ACPNC: 5, ANCPC: 17, ANCPNC: 238,
+					FracACPC: 40.0 / 300, FracACPNC: 5.0 / 300, FracANCPC: 17.0 / 300,
+					FracANCPNC: 238.0 / 300, ANCPCOfLoads: 0.034, ACPNCOfLoads: 0.009},
+			}),
+		New("fig10", KindHitMiss, "Hit-Miss Predictor Performance", "",
+			Options{Uops: 1000, Warmup: 100},
+			[]HitMissRow{
+				{Group: "SpecFP95", Predictor: "local", AHPH: 800, AHPM: 3, AMPH: 50, AMPM: 147,
+					FracAHPM: 0.003, FracAMPM: 0.147, FracMisses: 0.197, CaughtFrac: 147.0 / 197},
+				{Group: "Others", Predictor: "chooser"},
+			}),
+		New("fig12", KindBank, "Bank Predictor Comparison", "",
+			Options{Uops: 1000, Warmup: 100},
+			[]BankRow{
+				{Group: "SpecInt95", Predictor: "Addr", Total: 1000, Correct: 686, Wrong: 14,
+					Rate: 0.7, Accuracy: 0.98, MetricByPenalty: []float64{0.7, 0.65, 0.6}},
+				{Policy: "majority", Total: 1000, Correct: 490, Wrong: 10, Rate: 0.5, Accuracy: 0.98},
+			}),
+		NewTable("sweep-window", "IPC vs scheduling window", "paper constant is 32",
+			Options{Uops: 1000, Warmup: 100},
+			[]string{"window", "Traditional", "Perfect"},
+			[][]string{{"8", "0.912", "0.934"}, {"128", "1.214", "1.402"}}),
+	}
+	return NewReport("fixture", Options{Uops: 1000, Warmup: 100}, recs)
+}
+
+// TestGoldenJSON pins the exact JSON byte layout of every row kind: schema
+// consumers parse these files, so layout drift must be deliberate
+// (regenerate with -update and bump SchemaVersion when incompatible).
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fixtureReport()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "report.json", buf.Bytes())
+}
+
+// TestGoldenCSV pins the CSV layout the same way.
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportCSV(&buf, fixtureReport()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "report.csv", buf.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s — if intentional, regenerate with -update\n--- got ---\n%s", path, got)
+	}
+}
+
+// TestJSONRoundTrip decodes emitted JSON back into typed records and
+// re-emits it: the bytes must be identical and the decoded rows must equal
+// the originals, so downstream consumers can rely on lossless parsing.
+func TestJSONRoundTrip(t *testing.T) {
+	orig := fixtureReport()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Validate(); err != nil {
+		t.Fatalf("decoded report invalid: %v", err)
+	}
+	if !reflect.DeepEqual(orig, decoded) {
+		t.Fatalf("decode changed the report:\norig: %+v\ndecoded: %+v", orig, decoded)
+	}
+	var again bytes.Buffer
+	if err := WriteJSON(&again, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding a decoded report changed the bytes")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fixtureReport().Validate(); err != nil {
+		t.Fatalf("fixture must validate: %v", err)
+	}
+	bad := []Record{
+		{Schema: "bogus/v9", ID: "x", Kind: KindSpeedup, Rows: []SpeedupRow{}},
+		{Schema: SchemaVersion, ID: "", Kind: KindSpeedup, Rows: []SpeedupRow{}},
+		{Schema: SchemaVersion, ID: "x", Kind: "nope", Rows: []SpeedupRow{}},
+		{Schema: SchemaVersion, ID: "x", Kind: KindSpeedup, Rows: []BankRow{}},
+		{Schema: SchemaVersion, ID: "x", Kind: KindTable, Rows: [][]string{{"a"}}},
+	}
+	for i, rec := range bad {
+		if err := rec.Validate(); err == nil {
+			t.Errorf("bad record %d validated", i)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := DecodeRecord([]byte(`{"id":"x","kind":"mystery","rows":[]}`)); err == nil {
+		t.Fatal("unknown kind must fail to decode")
+	}
+	if _, err := DecodeRecord([]byte(`{"id":"x","kind":"speedup","rows":[{"speedup":"NaN-ish"}]}`)); err == nil {
+		t.Fatal("mistyped rows must fail to decode")
+	}
+}
+
+func TestCSVHasHeaderPerRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportCSV(&buf, fixtureReport()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# fig5 —", "key,loads,ac_pc",
+		"# fig7 —", "group,machine,scheme,predictor,trace,aggregate,speedup,dropped",
+		"# sweep-window —", "window,Traditional,Perfect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunnerCountersString(t *testing.T) {
+	s := RunnerCounters{Jobs: 10, Simulated: 4, MemoHits: 5, Coalesced: 1,
+		MapTasks: 10, SimMillis: 1234.5, CacheEntries: 4}.String()
+	for _, want := range []string{"10 jobs", "4 simulated", "5 memo hits", "1 coalesced", "4 cache entries"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

@@ -97,22 +97,47 @@ var shared = NewCache()
 // Shared returns the process-wide cache.
 func Shared() *Cache { return shared }
 
+// outcome classifies how Cache.do served a request, for the pool's
+// observability counters.
+type outcome int
+
+const (
+	// computed: this caller ran the simulation (a memo miss).
+	computed outcome = iota
+	// memoHit: a completed entry was already present.
+	memoHit
+	// coalesced: an identical computation was in flight; this caller
+	// blocked on it instead of duplicating the work (single-flight).
+	coalesced
+)
+
 // Do returns the memoized result for k, computing it with compute on the
 // first request. compute runs at most once per key for the cache's lifetime.
 func (c *Cache) Do(k Key, compute func() ooo.Stats) ooo.Stats {
+	st, _ := c.do(k, compute)
+	return st
+}
+
+// do is Do plus the outcome classification.
+func (c *Cache) do(k Key, compute func() ooo.Stats) (ooo.Stats, outcome) {
 	c.mu.Lock()
 	e, hit := c.m[k]
 	if hit {
 		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.stats, memoHit
+		default:
+		}
 		<-e.done
-		return e.stats
+		return e.stats, coalesced
 	}
 	e = &cacheEntry{done: make(chan struct{})}
 	c.m[k] = e
 	c.mu.Unlock()
 	defer close(e.done)
 	e.stats = compute()
-	return e.stats
+	return e.stats, computed
 }
 
 // Len reports the number of memoized simulations.

@@ -15,6 +15,8 @@ package runner
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"loadsched/internal/ooo"
 	"loadsched/internal/trace"
@@ -49,6 +51,60 @@ func (j Job) simulate() ooo.Stats {
 type Pool struct {
 	workers int
 	cache   *Cache
+	m       metrics
+}
+
+// Counters is a point-in-time snapshot of a pool's observability counters:
+// what the pool actually did, as opposed to what it was asked for. Jobs
+// splits into Simulated + MemoHits + Coalesced + Uncached-simulated work;
+// SimTime is wall time spent inside simulations summed over jobs, so it
+// exceeds elapsed time when workers overlap. The counts other than Jobs and
+// MapTasks can vary with timing (a concurrent duplicate lands as MemoHits
+// or Coalesced depending on who wins the race), which is why they surface
+// only through explicit observability paths (-v), never in deterministic
+// output.
+type Counters struct {
+	// Jobs is the number of simulations requested through Do.
+	Jobs int64
+	// Simulated jobs actually ran an engine (memo misses plus Uncached).
+	Simulated int64
+	// MemoHits were served from a completed cache entry.
+	MemoHits int64
+	// Coalesced waited on an identical in-flight simulation (single-flight).
+	Coalesced int64
+	// Uncached ran outside the cache: non-describable configs.
+	Uncached int64
+	// MapTasks counts fan-out units dispatched through Map, including the
+	// Do calls Run routes through it.
+	MapTasks int64
+	// SimTime is wall time spent inside simulations, summed over jobs.
+	SimTime time.Duration
+}
+
+// metrics is the pool-internal atomic counter block behind Counters.
+type metrics struct {
+	jobs, simulated, memoHits, coalesced, uncached, mapTasks, simNanos atomic.Int64
+}
+
+// Counters snapshots the pool's observability counters.
+func (p *Pool) Counters() Counters {
+	return Counters{
+		Jobs:      p.m.jobs.Load(),
+		Simulated: p.m.simulated.Load(),
+		MemoHits:  p.m.memoHits.Load(),
+		Coalesced: p.m.coalesced.Load(),
+		Uncached:  p.m.uncached.Load(),
+		MapTasks:  p.m.mapTasks.Load(),
+		SimTime:   time.Duration(p.m.simNanos.Load()),
+	}
+}
+
+// CacheLen reports the pool's memo cache size (0 for cache-free pools).
+func (p *Pool) CacheLen() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.Len()
 }
 
 // New returns a pool with the given concurrency bound that memoizes on the
@@ -77,17 +133,33 @@ func (p *Pool) Workers() int {
 // Do executes one job, through the memoization cache when the job's
 // configuration is describable (see ConfigKey).
 func (p *Pool) Do(j Job) ooo.Stats {
+	p.m.jobs.Add(1)
 	cfg := j.Build()
 	cfg.WarmupUops = j.Warmup
-	run := func() ooo.Stats { return ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops) }
+	run := func() ooo.Stats {
+		start := time.Now()
+		st := ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops)
+		p.m.simNanos.Add(time.Since(start).Nanoseconds())
+		p.m.simulated.Add(1)
+		return st
+	}
 	if p.cache == nil {
+		p.m.uncached.Add(1)
 		return run()
 	}
 	desc, ok := ConfigKey(cfg)
 	if !ok {
+		p.m.uncached.Add(1)
 		return run()
 	}
-	return p.cache.Do(Key{Machine: desc, Profile: j.Profile, Uops: j.Uops, Warmup: j.Warmup}, run)
+	st, how := p.cache.do(Key{Machine: desc, Profile: j.Profile, Uops: j.Uops, Warmup: j.Warmup}, run)
+	switch how {
+	case memoHit:
+		p.m.memoHits.Add(1)
+	case coalesced:
+		p.m.coalesced.Add(1)
+	}
+	return st
 }
 
 // Run executes every job and returns their statistics in job order,
@@ -103,6 +175,7 @@ func (p *Pool) Run(jobs []Job) []ooo.Stats {
 // (event-stream capture, statistical predictor replays).
 func Map[T any](p *Pool, n int, fn func(int) T) []T {
 	out := make([]T, n)
+	p.m.mapTasks.Add(int64(n))
 	w := p.Workers()
 	if w > n {
 		w = n

@@ -249,3 +249,75 @@ func TestSharedCacheProcessWide(t *testing.T) {
 
 // guard: Key must stay comparable (it is a map key).
 var _ = map[Key]bool{}
+
+// TestPoolCounters pins the observability contract: identical jobs on one
+// pool yield Jobs submissions but one simulation, with the remainder split
+// between memo hits and coalesces; an uncacheable job lands in Uncached.
+func TestPoolCounters(t *testing.T) {
+	p := NewIsolated(4, NewCache())
+	job := testJob(t, memdep.Traditional)
+
+	const n = 6
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	p.Run(jobs)
+
+	c := p.Counters()
+	if c.Jobs != n {
+		t.Fatalf("Jobs = %d, want %d", c.Jobs, n)
+	}
+	if c.Simulated != 1 {
+		t.Fatalf("Simulated = %d, want 1 (memoized)", c.Simulated)
+	}
+	// The 5 non-simulating submissions split between memo hits and
+	// single-flight coalesces depending on scheduling; the total is fixed.
+	if c.MemoHits+c.Coalesced != n-1 {
+		t.Fatalf("MemoHits(%d)+Coalesced(%d) = %d, want %d",
+			c.MemoHits, c.Coalesced, c.MemoHits+c.Coalesced, n-1)
+	}
+	if c.Uncached != 0 {
+		t.Fatalf("Uncached = %d, want 0", c.Uncached)
+	}
+	// Pool.Run routes through Map, so the submissions also count as tasks.
+	if c.MapTasks != n {
+		t.Fatalf("MapTasks = %d, want %d", c.MapTasks, n)
+	}
+	if c.SimTime <= 0 {
+		t.Fatalf("SimTime = %v, want > 0", c.SimTime)
+	}
+	if p.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d, want 1", p.CacheLen())
+	}
+
+	// A callback-carrying job is not describable and must run uncached.
+	uj := job
+	uj.Build = func() ooo.Config {
+		cfg := job.Build()
+		cfg.OnLoadRetire = func(ooo.LoadEvent) {}
+		return cfg
+	}
+	p.Do(uj)
+	c = p.Counters()
+	if c.Uncached != 1 {
+		t.Fatalf("Uncached = %d after callback job, want 1", c.Uncached)
+	}
+	if c.Jobs != n+1 || c.Simulated != 2 {
+		t.Fatalf("after callback job: Jobs = %d, Simulated = %d, want %d and 2",
+			c.Jobs, c.Simulated, n+1)
+	}
+}
+
+// TestPoolCountersNilCache: a cacheless pool counts every job as uncached.
+func TestPoolCountersNilCache(t *testing.T) {
+	p := NewIsolated(2, nil)
+	p.Do(testJob(t, memdep.Traditional))
+	c := p.Counters()
+	if c.Jobs != 1 || c.Simulated != 1 || c.Uncached != 1 || c.MemoHits != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if p.CacheLen() != 0 {
+		t.Fatalf("CacheLen = %d on cacheless pool", p.CacheLen())
+	}
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -12,6 +13,9 @@ import (
 type BarChart struct {
 	// Title heads the chart.
 	Title string
+	// Note is an optional caption line under the title (e.g. a warning that
+	// degenerate values were excluded from an aggregate).
+	Note string
 	// Width is the maximum bar length in characters (default 50).
 	Width int
 	// Max pins the full-scale value; 0 means scale to the largest bar.
@@ -32,10 +36,17 @@ func (c *BarChart) Add(label string, value float64) {
 	c.values = append(c.values, value)
 }
 
-// Render writes the chart.
+// Render writes the chart. Out-of-range values clamp rather than corrupt
+// the drawing: values below Baseline draw an empty bar, values above Max a
+// full-scale one, and NaN/Inf values draw empty with their label printed,
+// so a degenerate data point is visible without breaking the layout. An
+// empty chart renders just its title and note.
 func (c *BarChart) Render(w io.Writer) {
 	if c.Title != "" {
 		fmt.Fprintln(w, c.Title)
+	}
+	if c.Note != "" {
+		fmt.Fprintln(w, c.Note)
 	}
 	width := c.Width
 	if width <= 0 {
@@ -47,9 +58,10 @@ func (c *BarChart) Render(w io.Writer) {
 	}
 	scale := c.Max - c.Baseline
 	if c.Max == 0 {
+		scale = 0
 		for _, v := range c.values {
-			if v-c.Baseline > scale {
-				scale = v - c.Baseline
+			if rel := v - c.Baseline; rel > scale && !math.IsInf(rel, 1) && !math.IsNaN(rel) {
+				scale = rel
 			}
 		}
 	}
@@ -62,7 +74,7 @@ func (c *BarChart) Render(w io.Writer) {
 	for i, l := range c.labels {
 		rel := c.values[i] - c.Baseline
 		n := 0
-		if scale > 0 && rel > 0 {
+		if scale > 0 && rel > 0 && !math.IsNaN(rel) && !math.IsInf(rel, 1) {
 			n = int(rel/scale*float64(width) + 0.5)
 			if n > width {
 				n = width

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
@@ -28,7 +29,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// Render writes the table as aligned text.
+// Render writes the table as aligned text. Column widths are sized over the
+// widest row, not just the header: a row carrying more cells than Columns
+// still aligns (its trailing cells get real widths instead of width 0).
 func (t *Table) Render(w io.Writer) {
 	if t.Title != "" {
 		fmt.Fprintf(w, "%s\n", t.Title)
@@ -37,13 +40,19 @@ func (t *Table) Render(w io.Writer) {
 	if t.Note != "" {
 		fmt.Fprintf(w, "%s\n", t.Note)
 	}
-	widths := make([]int, len(t.Columns))
+	ncols := len(t.Columns)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -64,7 +73,7 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Columns)
-	sep := make([]string, len(t.Columns))
+	sep := make([]string, ncols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
@@ -79,6 +88,24 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Render(&b)
 	return b.String()
+}
+
+// CSV writes the table's header and body as CSV — the table-shaped half of
+// the machine-readable results layer (internal/results wraps it in versioned
+// records). Title and Note are presentation and do not appear; ragged rows
+// emit as-is.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Pct formats a fraction as "12.3%".

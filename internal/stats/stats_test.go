@@ -200,3 +200,107 @@ func TestGeoMeanMatchesCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTableRaggedRows pins the ragged-row fix: a row with more cells than
+// Columns must still align — before the fix its trailing cells were sized
+// with width 0, collapsing the layout.
+func TestTableRaggedRows(t *testing.T) {
+	tbl := Table{Columns: []string{"name", "v"}}
+	tbl.AddRow("a", "1", "extra-wide-cell", "x")
+	tbl.AddRow("b", "2", "short", "yy")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// lines: header, separator, row a, row b.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("ragged rows not aligned:\n%q\n%q", lines[2], lines[3])
+	}
+	if !strings.Contains(lines[2], "extra-wide-cell") {
+		t.Fatalf("trailing cell lost: %q", lines[2])
+	}
+	// The separator must span every materialised column, not just Columns.
+	if n := strings.Count(lines[1], "-"); n < len("extra-wide-cell") {
+		t.Fatalf("separator too short (%d dashes): %q", n, lines[1])
+	}
+	// The wide trailing cell must win the width for the shorter row too:
+	// row b's "yy" column starts where row a's "x" column starts.
+	if strings.Index(lines[2], " x") < strings.Index(lines[2], "extra-wide-cell") {
+		t.Fatalf("column order broken: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Title: "skip me", Note: "and me", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "with,comma")
+	tbl.AddRow("2", `with"quote`)
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n2,\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+	if strings.Contains(b.String(), "skip me") {
+		t.Fatal("Title leaked into CSV")
+	}
+}
+
+// TestBarChartClamping pins the out-of-range rendering contract: below
+// Baseline draws empty, above Max draws exactly full scale, NaN draws empty
+// — none of them corrupt the layout.
+func TestBarChartClamping(t *testing.T) {
+	c := BarChart{Width: 10, Baseline: 1, Max: 2}
+	c.Add("below", 0.5)
+	c.Add("above", 9.9)
+	c.Add("nan", math.NaN())
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if strings.Contains(lines[0], "█") {
+		t.Fatalf("below-baseline bar drew blocks: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) || strings.Count(lines[1], "█") != 10 {
+		t.Fatalf("above-max bar not clamped to full width: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "█") {
+		t.Fatalf("NaN bar drew blocks: %q", lines[2])
+	}
+	for _, l := range lines {
+		if n := strings.Count(l, "█") + strings.Count(l, "·"); n != 10 {
+			t.Fatalf("bar area is %d cells, want 10: %q", n, l)
+		}
+	}
+}
+
+// TestBarChartAutoScaleIgnoresDegenerate: with Max unset the scale comes
+// from the largest finite bar, so one Inf value cannot flatten the rest.
+func TestBarChartAutoScaleIgnoresDegenerate(t *testing.T) {
+	c := BarChart{Width: 10}
+	c.Add("inf", math.Inf(1))
+	c.Add("real", 2.0)
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Fatalf("finite max did not set the scale: %q", lines[1])
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := BarChart{Title: "Empty", Note: "nothing to plot"}
+	if got := c.String(); got != "Empty\nnothing to plot\n" {
+		t.Fatalf("empty chart = %q", got)
+	}
+	var zero BarChart
+	if got := zero.String(); got != "" {
+		t.Fatalf("zero chart = %q", got)
+	}
+}
+
+func TestBarChartNote(t *testing.T) {
+	c := BarChart{Title: "T", Note: "[warning: 2 dropped]", Width: 4}
+	c.Add("x", 1)
+	lines := strings.Split(c.String(), "\n")
+	if lines[1] != "[warning: 2 dropped]" {
+		t.Fatalf("note not under title: %q", lines[1])
+	}
+}

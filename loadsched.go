@@ -23,6 +23,7 @@ import (
 	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/ooo"
+	"loadsched/internal/results"
 	"loadsched/internal/runner"
 	"loadsched/internal/trace"
 )
@@ -243,3 +244,33 @@ func Groups() map[string][]string {
 // figures from library code (see internal/experiments for the FigN
 // functions, and cmd/loadsched for the CLI).
 type Figures = experiments.Options
+
+// Report re-exports the machine-readable results envelope: versioned,
+// typed records (schema results.SchemaVersion) for figures and sweeps,
+// emitted as JSON or CSV by the internal/results package.
+type Report = results.Report
+
+// FigureReport runs the named figure records ("fig5".."fig12", or
+// "bankpolicies"; none = all eight paper figures) under o and returns the
+// structured report — the library counterpart of `loadsched all -format
+// json`. Record contents are a pure function of o (worker count excluded),
+// so reports are identical for every Workers setting.
+func FigureReport(o Figures, figures ...string) (Report, error) {
+	if len(figures) == 0 {
+		figures = experiments.FigureIDs
+	}
+	recs := make([]results.Record, 0, len(figures))
+	for _, id := range figures {
+		rec, err := experiments.FigureRecord(id, o)
+		if err != nil {
+			return Report{}, err
+		}
+		recs = append(recs, rec)
+	}
+	rep := results.NewReport("library", results.Options{
+		Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup}, recs)
+	if err := rep.Validate(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

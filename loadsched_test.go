@@ -1,8 +1,11 @@
 package loadsched
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
+	"loadsched/internal/experiments"
 	"loadsched/internal/runner"
 )
 
@@ -171,5 +174,41 @@ func TestCompareReusesBaseline(t *testing.T) {
 	}
 	if sp[Traditional] != 1.0 {
 		t.Fatalf("Traditional speedup = %v, want exactly 1.0", sp[Traditional])
+	}
+}
+
+// TestFigureReport drives the library counterpart of `loadsched all -format
+// json`: a valid report whose records are a pure function of the options,
+// so two runs at different worker counts marshal identically.
+func TestFigureReport(t *testing.T) {
+	opts := func(workers int) Figures {
+		o := experiments.Quick()
+		o.Uops, o.Warmup = 15_000, 4_000
+		o.TracesPerGroup = 1
+		o.Pool = runner.NewIsolated(workers, runner.NewCache())
+		return o
+	}
+	rep, err := FigureReport(opts(1), "fig5", "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 2 || rep.Records[0].ID != "fig5" || rep.Records[1].ID != "fig7" {
+		t.Fatalf("records = %+v", rep.Records)
+	}
+	wide, err := FigureReport(opts(8), "fig5", "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(rep)
+	j8, _ := json.Marshal(wide)
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("reports differ across worker counts:\n%s\n%s", j1, j8)
+	}
+
+	if _, err := FigureReport(opts(1), "fig99"); err == nil {
+		t.Fatal("unknown figure must error")
 	}
 }
