@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check race verify bench bench-json determinism clean
+.PHONY: all build test vet fmt-check race verify bench bench-json determinism cover clean
 
 all: build
 
@@ -50,6 +50,14 @@ determinism: build
 
 verify: build fmt-check vet race determinism
 	@echo "verify: OK"
+
+# cover: run the test suite with coverage; the go tool prints the
+# per-package percentages and the last line below is the repo total. The
+# profile lands in /tmp for drill-down with
+# `go tool cover -html=/tmp/loadsched-cover.out`.
+cover:
+	$(GO) test -short -coverprofile=/tmp/loadsched-cover.out -covermode=atomic ./...
+	@$(GO) tool cover -func=/tmp/loadsched-cover.out | tail -1
 
 clean:
 	rm -f /tmp/loadsched-determinism /tmp/loadsched-benchjson \

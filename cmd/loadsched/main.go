@@ -7,6 +7,7 @@
 //	loadsched figure <5|6|7|8|9|10|11|12> [flags]   reproduce one paper figure
 //	loadsched all [flags]                           reproduce every figure
 //	loadsched run [flags]                           one simulation, full stats
+//	loadsched cpistack [flags]                      per-group CPI stack view
 //	loadsched traces                                list the trace groups
 //
 // Flags (figure/all/run/sweep):
@@ -76,6 +77,8 @@ func main() {
 		runSingle(args)
 	case "sweep":
 		runSweep(args)
+	case "cpistack":
+		runCPIStack(args)
 	case "record":
 		runRecord(args)
 	case "replay":
@@ -96,6 +99,7 @@ commands:
   all [flags]             reproduce all figures
   run [flags]             single simulation with full statistics
   sweep <kind> [flags]    sensitivity sweeps: window | penalty | chtsize
+  cpistack [flags]        attribute every cycle to a stall cause per group
   record -o f [flags]     serialize a synthetic trace to a file
   replay -f f [flags]     simulate a recorded trace file
   traces                  list trace groups and members
@@ -357,6 +361,53 @@ func figureData(f string, o experiments.Options) (stats.Table, *stats.BarChart, 
 	}
 }
 
+// runCPIStack reproduces the CPI-stack view: every simulated cycle of each
+// trace group attributed to a stall cause, contrasting the Traditional
+// baseline against the Inclusive CHT scheme.
+func runCPIStack(args []string) {
+	fs := flag.NewFlagSet("cpistack", flag.ExitOnError)
+	o := optionFlags(fs)
+	quick := fs.Bool("quick", false, "small fast preset")
+	op := outputFlags(fs)
+	_ = fs.Parse(args)
+	if *quick {
+		applyQuick(o)
+	}
+	pool := runner.New(o.Workers)
+	o.Pool = pool
+	stop := op.startProfiling()
+	defer stop()
+
+	rows := experiments.CPIStacks(*o)
+	switch op.format {
+	case "table":
+		tbl := experiments.CPIStackTable(rows)
+		if op.out != "" {
+			writeOut(op.out, "cpistack.txt", []byte(tbl.String()))
+			break
+		}
+		tbl.Render(os.Stdout)
+	case "json", "csv":
+		rec := experiments.CPIStackRecord(*o, rows)
+		report := results.NewReport("cpistack", results.Options{
+			Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
+			[]results.Record{rec})
+		if op.verbose {
+			rc := runnerCounters(pool)
+			report.Runner = &rc
+		}
+		if err := report.Validate(); err != nil {
+			fatal("internal: %v", err)
+		}
+		emitReport(report, op)
+	default:
+		fatal("unknown format %q (want table | json | csv)", op.format)
+	}
+	if op.verbose {
+		fmt.Fprintln(os.Stderr, runnerCounters(pool))
+	}
+}
+
 func runSingle(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	o := optionFlags(fs)
@@ -453,6 +504,19 @@ func printRunStats(group, name string, cfg ooo.Config, st ooo.Stats) {
 	hm := st.HM
 	fmt.Printf("  hit-miss: AH-PH=%d AH-PM=%d AM-PH=%d AM-PM=%d\n",
 		hm.AHPH, hm.AHPM, hm.AMPH, hm.AMPM)
+	cp := st.CPI
+	share := func(v int64) string {
+		if st.Cycles == 0 {
+			return stats.Pct(0)
+		}
+		return stats.Pct(float64(v) / float64(st.Cycles))
+	}
+	fmt.Printf("  cpi stack: base=%s frontend=%s window=%s ports=%s ordering=%s\n",
+		share(cp.Base), share(cp.Frontend), share(cp.WindowFull),
+		share(cp.PortContention), share(cp.OrderingWait))
+	fmt.Printf("             bank=%s coll-rec=%s miss-replay=%s data=%s (sum %d/%d cycles)\n",
+		share(cp.BankConflict), share(cp.CollisionRecovery), share(cp.MissReplay),
+		share(cp.DataStall), cp.Total(), st.Cycles)
 }
 
 func listTraces() {

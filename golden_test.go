@@ -1,0 +1,71 @@
+package loadsched
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/results"
+	"loadsched/internal/runner"
+)
+
+// TestGoldenAllFigures is the refactor-equivalence gate: the engine must
+// reproduce the committed pre-refactor figure records byte-for-byte. The
+// golden was captured with
+//
+//	loadsched all -quick -format json -j 1 > testdata/golden_all_quick.json
+//
+// and the test rebuilds the identical report in-process. Any change to
+// simulation behavior — intended or not — shows up here as a byte diff;
+// regenerate the golden only for deliberate model changes, and say so in the
+// commit.
+func TestGoldenAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure run is a few seconds; skipped under -short")
+	}
+	want, err := os.ReadFile("testdata/golden_all_quick.json")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+
+	o := experiments.Quick()
+	o.Pool = runner.NewIsolated(1, runner.NewCache())
+	recs := experiments.AllRecords(o)
+	report := results.NewReport("all", results.Options{
+		Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup}, recs)
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := results.WriteJSON(&b, report); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		t.Fatalf("all-figure records diverge from pre-refactor golden\n"+
+			"got %d bytes, want %d bytes\n%s", len(got), len(want), firstDiff(got, string(want)))
+	}
+}
+
+// firstDiff locates the first divergent line for a readable failure message.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "first diff at line " + itoa(i+1) + ":\n  got:  " + g[i] + "\n  want: " + w[i]
+		}
+	}
+	return "outputs differ in length only"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

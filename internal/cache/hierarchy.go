@@ -54,17 +54,20 @@ func (l Latencies) Of(level Level) int {
 	}
 }
 
-// HierarchyConfig configures the two cache levels (paper §3.1 geometry by
-// default; the instruction cache is not modelled because traces are already
-// fetched).
+// HierarchyConfig configures the cache levels. L1I is geometry only: the
+// instruction cache carries no timing (traces arrive pre-fetched), but its
+// configuration is validated alongside L1D/L2 so a machine description with
+// an impossible front-end geometry is rejected rather than silently
+// ignored. A zero L1I means "not modelled" and skips validation.
 type HierarchyConfig struct {
-	L1D, L2 Config
+	L1I, L1D, L2 Config
 }
 
-// DefaultHierarchyConfig is the machine of §3.1: 16K L1D and 256K unified
-// L2, 4-way, 64-byte lines.
+// DefaultHierarchyConfig is the machine of §3.1: 16K L1I, 16K L1D and 256K
+// unified L2, 4-way, 64-byte lines.
 func DefaultHierarchyConfig() HierarchyConfig {
 	return HierarchyConfig{
+		L1I: Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
 		L1D: Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
 		L2:  Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 4},
 	}

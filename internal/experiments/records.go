@@ -211,6 +211,8 @@ func FigureRecord(id string, o Options) (results.Record, error) {
 		return Fig12Record(o, Fig12(o)), nil
 	case "bankpolicies":
 		return BankPoliciesRecord(o, BankPolicies(o)), nil
+	case "cpistack":
+		return CPIStackRecord(o, CPIStacks(o)), nil
 	default:
 		return results.Record{}, fmt.Errorf("experiments: unknown figure record %q", id)
 	}

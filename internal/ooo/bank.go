@@ -52,17 +52,28 @@ func (p BankPolicy) String() string {
 	}
 }
 
-// bankState is the engine's per-cycle banked-cache bookkeeping.
+// bankState is the bank-steering half of the default speculation policy:
+// per-cycle bank claims plus the predictor that steers loads. Its decisions
+// are pure — stat events and delays ride back in BankDecision for the
+// engine to apply.
 type bankState struct {
 	policy  BankPolicy
 	banking cache.Banking
 	pred    bankpred.Predictor
+	// dualLatency / mispredictPenalty are the organization costs from the
+	// machine configuration.
+	dualLatency       int64
+	mispredictPenalty int64
 	// uses counts accesses per bank in the current cycle.
 	uses []int
 }
 
 func newBankState(cfg Config) *bankState {
-	b := &bankState{policy: cfg.BankPolicy, banking: cfg.Banking, pred: cfg.BankPredictor}
+	b := &bankState{
+		policy: cfg.BankPolicy, banking: cfg.Banking, pred: cfg.BankPredictor,
+		dualLatency:       int64(cfg.BankDualSchedLatency),
+		mispredictPenalty: int64(cfg.BankMispredictPenalty),
+	}
 	if b.policy != BankOff {
 		if b.banking.Banks == 0 {
 			b.banking = cache.DefaultBanking()
@@ -79,90 +90,81 @@ func (b *bankState) begin() {
 }
 
 // admit decides whether a ready load may dispatch this cycle under the bank
-// policy, and records any conflict/mispredict delay in en.bankDelay.
-func (b *bankState) admit(e *Engine, en *entry) bool {
-	en.bankDelay = 0
+// policy; conflict/mispredict events and extra latency ride in the decision.
+func (b *bankState) admit(ld LoadView) BankDecision {
 	if b.policy == BankOff {
-		return true
+		return BankDecision{Admit: true}
 	}
-	real := b.banking.BankOf(en.u.Addr)
+	real := b.banking.BankOf(ld.Addr)
 	switch b.policy {
 	case BankDualScheduled:
 		// The second-level scheduler eliminates conflicts but adds its own
 		// pipeline stage(s) to every load.
-		en.bankDelay = int64(e.cfg.BankDualSchedLatency)
-		return true
+		return BankDecision{Admit: true, Delay: b.dualLatency}
 
 	case BankConventional:
 		if b.uses[real] > 0 {
 			// The bank is taken this cycle: the access stalls and retries —
 			// a lost scheduling slot, the cost bank prediction removes.
-			e.stats.BankConflicts++
-			return false
+			return BankDecision{Conflict: true}
 		}
 		b.uses[real]++
-		return true
+		return BankDecision{Admit: true}
 
 	case BankPredictive:
 		predBank, ok := -1, false
 		if b.pred != nil {
-			predBank, ok = b.pred.Predict(en.u.IP)
+			predBank, ok = b.pred.Predict(ld.IP)
 		}
 		if ok && b.uses[predBank] > 0 {
 			// The scheduler believes this bank is taken: hold the load
 			// without burning the slot (prediction-guided scheduling).
-			return false
+			return BankDecision{}
 		}
 		if b.uses[real] > 0 {
 			// Unpredicted (or mispredicted) conflict: stall as conventional.
-			e.stats.BankConflicts++
-			if ok && predBank != real {
-				e.stats.BankMispredicts++
-			}
-			return false
+			return BankDecision{Conflict: true, Mispredict: ok && predBank != real}
 		}
 		b.uses[real]++
-		return true
+		return BankDecision{Admit: true}
 
 	default: // BankSliced
 		predBank, ok := -1, false
 		if b.pred != nil {
-			predBank, ok = b.pred.Predict(en.u.IP)
+			predBank, ok = b.pred.Predict(ld.IP)
 		}
 		if !ok {
 			// Duplicate to all pipes: every bank must be free.
 			for _, u := range b.uses {
 				if u > 0 {
-					return false
+					return BankDecision{}
 				}
 			}
 			for i := range b.uses {
 				b.uses[i]++
 			}
-			e.stats.BankDuplicates++
-			return true
+			return BankDecision{Admit: true, Duplicate: true}
 		}
 		if b.uses[predBank] > 0 {
-			return false // the predicted pipe is busy this cycle
+			return BankDecision{} // the predicted pipe is busy this cycle
 		}
 		b.uses[predBank]++
 		if predBank != real {
 			// Wrong pipe: the load is flushed and re-executed.
-			en.bankDelay = int64(e.cfg.BankMispredictPenalty)
-			e.stats.BankMispredicts++
+			return BankDecision{Admit: true, Delay: b.mispredictPenalty, Mispredict: true}
 		}
-		return true
+		return BankDecision{Admit: true}
 	}
 }
 
 // train updates the bank predictor with a retired load's actual bank.
-func (b *bankState) train(en *entry) {
+func (b *bankState) train(ip, addr uint64) {
 	if b.policy == BankOff || b.pred == nil {
 		return
 	}
 	if ab, ok := b.pred.(*bankpred.AddrBank); ok {
-		ab.UpdateAddr(en.u.IP, en.u.Addr)
+		ab.UpdateAddr(ip, addr)
 		return
 	}
-	b.pred.Update(en.u.IP, b.banking.BankOf(en.u.Addr))
+	b.pred.Update(ip, b.banking.BankOf(addr))
 }

@@ -121,6 +121,16 @@ type Config struct {
 	// (internal/smt) uses this to gate thread switches.
 	OnMemoryLoad func(remaining int64, predicted bool)
 
+	// NewPolicy, when set, replaces the built-in speculation policy
+	// assembled from Scheme/CHT/HMP/BankPredictor/BankPolicy with a custom
+	// SpeculationPolicy — the seam through which a new scheme plugs into the
+	// pipeline without touching stage code. The constructor receives the
+	// engine-owned hierarchy and miss queue; wrap DefaultPolicy(cfg, deps)
+	// to override a single decision. Configurations carrying a custom
+	// policy are not memoizable by internal/runner (the policy's behavior
+	// cannot be described canonically).
+	NewPolicy func(PolicyDeps) SpeculationPolicy
+
 	// Banking configures the multi-banked L1 extension; BankPolicy selects
 	// how the scheduler uses it (see bank.go). Zero value disables banking.
 	Banking cache.Banking
@@ -182,10 +192,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ooo: scheduling window %d exceeds rename pool %d", c.Window, c.RenamePool)
 	case c.IntUnits <= 0 || c.MemUnits <= 0 || c.FPUnits <= 0 || c.ComplexUnits <= 0 || c.STDPorts <= 0:
 		return fmt.Errorf("ooo: every execution-unit count must be positive")
-	case c.Scheme.UsesCHT() && c.CHT == nil:
+	case c.NewPolicy == nil && c.Scheme.UsesCHT() && c.CHT == nil:
 		return fmt.Errorf("ooo: scheme %v requires a CHT", c.Scheme)
 	case c.CollisionPenalty < 0 || c.MissReplayPenalty < 0 || c.FrontEndRefill < 0:
 		return fmt.Errorf("ooo: negative penalty")
+	case c.MissRecoveryBubble < 0 || c.CollisionRecoveryBubble < 0:
+		return fmt.Errorf("ooo: negative recovery bubble")
+	case c.CollisionReplayUops < 0 || c.MissReplayUops < 0:
+		return fmt.Errorf("ooo: negative replay uop count")
+	case c.BankMispredictPenalty < 0 || c.BankDualSchedLatency < 0:
+		return fmt.Errorf("ooo: negative bank penalty")
+	case c.ForwardLatency < 0:
+		return fmt.Errorf("ooo: negative forward latency")
+	}
+	// L1I carries no timing (traces arrive pre-fetched) but an explicitly
+	// configured geometry must still be coherent; the zero value means "not
+	// modelled" and is accepted.
+	if c.Hier.L1I != (cache.Config{}) {
+		if err := c.Hier.L1I.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Hier.L1D.Validate(); err != nil {
 		return err

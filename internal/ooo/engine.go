@@ -2,10 +2,23 @@ package ooo
 
 import (
 	"loadsched/internal/cache"
-	"loadsched/internal/hitmiss"
 	"loadsched/internal/memdep"
 	"loadsched/internal/uop"
 )
+
+// The engine is decomposed into one file per pipeline stage, all operating
+// on the shared machine state below:
+//
+//	frontend.go  fetch + rename (branch stall, producer tracking, MOB entry)
+//	schedule.go  scheduling window walk, port allocation, replay debt
+//	memory.go    MOB queries, load classification, collision resolution
+//	execute.go   load execution: cache access, latency speculation, penalties
+//	retire.go    in-order retirement, stat finalization, predictor training
+//	policy.go    the SpeculationPolicy seam the stages consult
+//	cpi.go       per-cycle stall attribution (the CPI stack)
+//
+// Every speculation decision flows through the SpeculationPolicy seam, so
+// stage code contains machine mechanics only.
 
 // Source supplies the dynamic uop stream (a trace generator).
 type Source interface {
@@ -61,6 +74,14 @@ type entry struct {
 	dispCycle   int64 // cycle the load dispatched (for replay accounting)
 }
 
+// loadView projects the policy-visible slice of a load entry.
+func loadView(en *entry) LoadView {
+	return LoadView{
+		IP: en.u.IP, Addr: en.u.Addr, Size: int(en.u.Size),
+		OlderStores: en.olderStores, Pred: en.pred,
+	}
+}
+
 // storeRec is the MOB's view of one in-flight store.
 type storeRec struct {
 	id   int64
@@ -86,11 +107,10 @@ type Engine struct {
 	src   Source
 	hier  *cache.Hierarchy
 	missq *cache.MissQueue
-	cht   memdep.Predictor
-	hmp   hitmiss.Predictor
-	// hmpOracle marks the perfect predictor: it is granted knowledge of
-	// dynamic misses (in-flight fills) that the directory probe cannot see.
-	hmpOracle bool
+	// policy is the speculation seam every prediction decision goes
+	// through; oracle caches policy.Oracle().
+	policy SpeculationPolicy
+	oracle bool
 
 	rob   []entry
 	head  int // index of the oldest entry
@@ -124,14 +144,19 @@ type Engine struct {
 	replayMemDebt, replayIntDebt int
 
 	// recoveryStallUntil blocks dispatch while a memory-ordering violation
-	// is being repaired.
+	// is being repaired; recoveryCause remembers which repair set it, for
+	// the CPI stack.
 	recoveryStallUntil int64
+	recoveryCause      stallCause
 	// missDetections are the future cycles at which AM-PH misses are
 	// discovered (dispatch + hit-indication); each triggers a
 	// MissRecoveryBubble when it comes due.
 	missDetections []int64
 
-	bank *bankState
+	// Per-cycle CPI-stack evidence (see cpi.go).
+	cycleRetired       int
+	cycleRenameStalled bool
+	schedHold          stallCause
 
 	stats Stats
 }
@@ -148,38 +173,27 @@ func NewEngine(cfg Config, src Source) *Engine {
 		src:      src,
 		hier:     cache.NewHierarchy(cfg.Hier),
 		missq:    cache.NewMissQueue(16),
-		cht:      cfg.CHT,
 		rob:      make([]entry, cfg.RenamePool),
 		mobFirst: 1,
 	}
 	for i := range e.regProd {
 		e.regProd[i] = -1
 	}
-	e.hmp = cfg.HMP
-	if e.hmp == nil {
-		e.hmp = hitmiss.AlwaysHit{}
+	deps := PolicyDeps{Hier: e.hier, MissQ: e.missq}
+	if cfg.NewPolicy != nil {
+		e.policy = cfg.NewPolicy(deps)
+	} else {
+		e.policy = DefaultPolicy(cfg, deps)
 	}
-	if p, ok := e.hmp.(*hitmiss.Perfect); ok {
-		if p.Hierarchy == nil {
-			p.Hierarchy = e.hier
-		}
-		e.hmpOracle = true
-	}
-	if p, ok := e.hmp.(*hitmiss.PerfectLevel); ok {
-		if p.Hierarchy == nil {
-			p.Hierarchy = e.hier
-		}
-		e.hmpOracle = true
-	}
-	if cfg.UseTimingHMP {
-		e.hmp = hitmiss.NewTiming(e.hmp, e.missq)
-	}
-	e.bank = newBankState(cfg)
+	e.oracle = e.policy.Oracle()
 	return e
 }
 
 // Hierarchy exposes the simulated data hierarchy (read-only use).
 func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
+
+// Policy exposes the active speculation policy (read-only use).
+func (e *Engine) Policy() SpeculationPolicy { return e.policy }
 
 // StepCycle advances the machine by exactly one clock. External
 // coordinators (e.g. the coarse-grained multithreading model in
@@ -221,670 +235,18 @@ func (e *Engine) runUops(n int) {
 
 // cycle advances the machine one clock: retire, resolve collisions,
 // dispatch, then fetch/rename. Dispatch precedes rename so a uop spends at
-// least one cycle in the scheduling window.
+// least one cycle in the scheduling window. After the stages run, the cycle
+// is attributed to exactly one CPI-stack cause.
 func (e *Engine) cycle() {
 	e.now++
+	e.cycleRetired = 0
+	e.cycleRenameStalled = false
+	e.schedHold = stallNone
 	e.retire()
 	e.resolveCollisions()
 	e.dispatch()
 	e.fetchRename()
+	e.attributeCycle()
 }
 
 func (e *Engine) robIdx(pos int) int { return (e.head + pos) % len(e.rob) }
-
-// ---------- fetch / rename ----------
-
-func (e *Engine) fetchRename() {
-	if e.awaitingBranch || e.now < e.resumeAt {
-		return
-	}
-	for i := 0; i < e.cfg.FetchWidth; i++ {
-		if e.count >= len(e.rob) || e.rsCount >= e.cfg.Window {
-			e.stats.RenameStalls++
-			return
-		}
-		u := e.src.Next()
-		e.rename(u)
-		if u.Kind == uop.Branch && u.Mispredicted {
-			// Fetch goes down the wrong path; stall until this branch
-			// resolves plus the refill bubble.
-			e.stats.BranchMispredicts++
-			e.awaitingBranch = true
-			return
-		}
-	}
-}
-
-func (e *Engine) rename(u uop.UOp) {
-	idx := e.robIdx(e.count)
-	e.count++
-	en := &e.rob[idx]
-	*en = entry{u: u, valid: true, inRS: true, src1Prod: -1, src2Prod: -1}
-	e.rsCount++
-
-	en.src1Prod, en.src1Seq = e.lookupProducer(u.Src1)
-	en.src2Prod, en.src2Seq = e.lookupProducer(u.Src2)
-	if u.Dst != uop.NoReg {
-		e.regProd[u.Dst] = int32(idx)
-		e.regSeq[u.Dst] = u.Seq
-	}
-	if u.Kind == uop.Branch && u.Mispredicted {
-		en.blockingBranch = true
-	}
-
-	switch u.Kind {
-	case uop.STA:
-		rec := e.mobEnsure(u.StoreID)
-		rec.ip = u.IP
-		rec.addr = u.Addr
-		rec.size = int(u.Size)
-		rec.staSeen = true
-		if e.cfg.Barrier != nil && e.cfg.Barrier.ShouldBarrier(u.IP) {
-			rec.barrier = true
-		}
-	case uop.STD:
-		rec := e.mobEnsure(u.StoreID)
-		rec.stdSeen = true
-	case uop.Load:
-		en.olderStores = e.lastStoreID()
-		if e.cfg.Scheme.UsesCHT() {
-			en.pred = e.cht.Lookup(u.IP)
-		}
-	}
-}
-
-// lookupProducer resolves a source register to its in-flight producer.
-func (e *Engine) lookupProducer(r uop.Reg) (int32, int64) {
-	if r == uop.NoReg {
-		return -1, 0
-	}
-	idx := e.regProd[r]
-	if idx < 0 {
-		return -1, 0
-	}
-	en := &e.rob[idx]
-	if !en.valid || en.u.Seq != e.regSeq[r] || en.u.Dst != r {
-		return -1, 0 // producer already retired
-	}
-	return idx, en.u.Seq
-}
-
-// ---------- MOB ----------
-
-func (e *Engine) mobEnsure(id int64) *storeRec {
-	for int64(len(e.mob)) <= id-e.mobFirst {
-		e.mob = append(e.mob, storeRec{id: e.mobFirst + int64(len(e.mob))})
-	}
-	return &e.mob[id-e.mobFirst]
-}
-
-func (e *Engine) mobGet(id int64) *storeRec {
-	if id < e.mobFirst || id-e.mobFirst >= int64(len(e.mob)) {
-		return nil
-	}
-	return &e.mob[id-e.mobFirst]
-}
-
-// lastStoreID returns the id of the youngest store renamed so far.
-func (e *Engine) lastStoreID() int64 { return e.mobFirst + int64(len(e.mob)) - 1 }
-
-// mobPrune drops fully retired stores from the MOB head.
-func (e *Engine) mobPrune() {
-	for len(e.mob) > 0 {
-		r := &e.mob[0]
-		if !(r.staRetired && r.stdRetired) {
-			return
-		}
-		e.mob = e.mob[1:]
-		e.mobFirst++
-	}
-}
-
-// overlap reports whether two accesses touch common bytes.
-func overlap(a uint64, asz int, b uint64, bsz int) bool {
-	return a < b+uint64(bsz) && b < a+uint64(asz)
-}
-
-// ---------- dispatch ----------
-
-func (e *Engine) dispatch() {
-	if len(e.missDetections) > 0 {
-		kept := e.missDetections[:0]
-		for _, d := range e.missDetections {
-			if d <= e.now {
-				if until := e.now + int64(e.cfg.MissRecoveryBubble); until > e.recoveryStallUntil {
-					e.recoveryStallUntil = until
-				}
-				continue
-			}
-			kept = append(kept, d)
-		}
-		e.missDetections = kept
-	}
-	if e.now < e.recoveryStallUntil {
-		return // replay/collision recovery in progress: no dispatch this cycle
-	}
-	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
-	e.drainReplayDebt()
-	e.bank.begin()
-	for pos := 0; pos < e.count; pos++ {
-		idx := e.robIdx(pos)
-		en := &e.rob[idx]
-		if !en.valid || !en.inRS || en.dispatched {
-			continue
-		}
-		if !e.sourcesReady(en) {
-			continue
-		}
-		switch en.u.Kind {
-		case uop.Load:
-			e.maybeDispatchLoad(int32(idx), en)
-		case uop.STA:
-			if e.memUsed < e.cfg.MemUnits {
-				e.memUsed++
-				e.dispatchSTA(en)
-			}
-		case uop.STD:
-			if e.stdUsed < e.cfg.STDPorts {
-				e.stdUsed++
-				e.dispatchSTD(en)
-			}
-		case uop.FPU:
-			if e.fpUsed < e.cfg.FPUnits {
-				e.fpUsed++
-				e.complete(en, e.cfg.latencyOf(uop.FPU))
-			}
-		case uop.Complex:
-			if e.cplxUsed < e.cfg.ComplexUnits {
-				e.cplxUsed++
-				e.complete(en, e.cfg.latencyOf(uop.Complex))
-			}
-		default: // IntALU, Branch, Nop
-			if e.intUsed < e.cfg.IntUnits {
-				e.intUsed++
-				e.complete(en, e.cfg.latencyOf(en.u.Kind))
-				if en.blockingBranch {
-					e.awaitingBranch = false
-					e.resumeAt = en.doneCycle + int64(e.cfg.FrontEndRefill)
-				}
-			}
-		}
-	}
-}
-
-// drainReplayDebt spends owed replay slots against this cycle's ports.
-func (e *Engine) drainReplayDebt() {
-	for e.replayMemDebt > 0 && e.memUsed < e.cfg.MemUnits {
-		e.memUsed++
-		e.replayMemDebt--
-	}
-	for e.replayIntDebt > 0 && e.intUsed < e.cfg.IntUnits {
-		e.intUsed++
-		e.replayIntDebt--
-	}
-}
-
-func (e *Engine) sourcesReady(en *entry) bool {
-	return e.producerReady(en.src1Prod, en.src1Seq) && e.producerReady(en.src2Prod, en.src2Seq)
-}
-
-func (e *Engine) producerReady(idx int32, seq int64) bool {
-	if idx < 0 {
-		return true
-	}
-	p := &e.rob[idx]
-	if !p.valid || p.u.Seq != seq {
-		return true // retired
-	}
-	return p.done && p.doneCycle <= e.now
-}
-
-// complete marks a fixed-latency uop dispatched with its completion time.
-func (e *Engine) complete(en *entry, lat int) {
-	en.dispatched = true
-	en.inRS = false
-	e.rsCount--
-	en.done = true
-	en.doneCycle = e.now + int64(lat)
-}
-
-func (e *Engine) dispatchSTA(en *entry) {
-	e.complete(en, e.cfg.LatSTA)
-	rec := e.mobGet(en.u.StoreID)
-	rec.staExec = true
-	rec.staExecCycle = en.doneCycle
-	// The store allocates its line (write-allocate) once its address is
-	// known; timing-wise the fill rides the store buffer, so no load-visible
-	// latency is modelled here.
-	e.hier.Access(en.u.Addr)
-}
-
-func (e *Engine) dispatchSTD(en *entry) {
-	e.complete(en, e.cfg.LatSTD)
-	rec := e.mobGet(en.u.StoreID)
-	rec.stdExec = true
-	rec.stdExecCyc = en.doneCycle
-}
-
-// ---------- load scheduling ----------
-
-// maybeDispatchLoad applies classification and the active ordering scheme,
-// then executes the load if allowed.
-func (e *Engine) maybeDispatchLoad(idx int32, en *entry) {
-	// Classification happens at schedule time: the first cycle the load's
-	// operands are ready (paper §2.1 definition of a conflicting load).
-	if !en.classified {
-		e.classifyLoad(en)
-	}
-	if e.memUsed >= e.cfg.MemUnits {
-		return
-	}
-	if !e.orderingAllows(en) {
-		return
-	}
-	if !e.bank.admit(e, en) {
-		return
-	}
-	e.memUsed++
-	e.executeLoad(idx, en)
-}
-
-// classifyLoad computes the AC/ANC/not-conflicting status of Figure 1.
-//
-// A load is *conflicting* when an older in-window store is incomplete at the
-// load's schedule time, and *colliding* when such a store also overlaps the
-// load's address — i.e. advancing the load would make it consume stale data
-// and pay the collision penalty. (The paper defines conflict through
-// unresolved STAs only; we fold in pending STDs so that the classification,
-// the collision penalty, and CHT training all describe the same event — see
-// DESIGN.md.)
-func (e *Engine) classifyLoad(en *entry) {
-	en.classified = true
-	conflicting, colliding, dist := false, false, 0
-	for id := e.mobFirst; id <= en.olderStores; id++ {
-		rec := e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if e.storeDone(rec) {
-			// Both halves have at least dispatched: the scheduler knows the
-			// address and the data timing, so no ambiguity remains.
-			continue
-		}
-		conflicting = true
-		if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) {
-			colliding = true
-			d := int(en.olderStores - rec.id + 1)
-			if dist == 0 || d < dist {
-				dist = d
-			}
-		}
-	}
-	en.conflicting = conflicting
-	en.colliding = colliding
-	en.collDist = dist
-}
-
-// orderingAllows applies the six schemes of §3.1, plus the optional
-// [Hess95] store-barrier constraint.
-func (e *Engine) orderingAllows(en *entry) bool {
-	if e.cfg.Barrier != nil {
-		for id := e.mobFirst; id <= en.olderStores; id++ {
-			rec := e.mobGet(id)
-			if rec != nil && rec.barrier && !e.storeDone(rec) {
-				return false
-			}
-		}
-	}
-	switch e.cfg.Scheme {
-	case memdep.Traditional:
-		return e.storesComplete(en.olderStores, 0, false)
-	case memdep.Opportunistic:
-		return true
-	case memdep.Postponing:
-		if !e.storesComplete(en.olderStores, 0, false) {
-			return false
-		}
-		if en.pred.Colliding {
-			return e.storesComplete(en.olderStores, 0, true)
-		}
-		return true
-	case memdep.Inclusive:
-		if en.pred.Colliding {
-			return e.storesComplete(en.olderStores, 0, true)
-		}
-		return true
-	case memdep.Exclusive:
-		if en.pred.Colliding {
-			// Wait only for stores at the predicted distance or farther.
-			maxID := en.olderStores
-			if en.pred.Distance != memdep.NoDistance {
-				maxID = en.olderStores - int64(en.pred.Distance) + 1
-			}
-			return e.storesComplete(maxID, 0, true)
-		}
-		return true
-	default: // Perfect
-		for id := e.mobFirst; id <= en.olderStores; id++ {
-			rec := e.mobGet(id)
-			if rec == nil || !rec.staSeen {
-				continue
-			}
-			if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) && !e.storeDone(rec) {
-				return false
-			}
-		}
-		return true
-	}
-}
-
-// storesComplete reports whether all in-window stores with id ≤ maxID have
-// dispatched their STA (and, if withSTD, their STD). A dispatched half's
-// completion time is known to the scheduler, so "dispatched" is the point at
-// which the ambiguity disappears.
-func (e *Engine) storesComplete(maxID, _ int64, withSTD bool) bool {
-	for id := e.mobFirst; id <= maxID; id++ {
-		rec := e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if !rec.staExec {
-			return false
-		}
-		if withSTD && !rec.stdExec {
-			return false
-		}
-	}
-	return true
-}
-
-func (e *Engine) storeDone(rec *storeRec) bool {
-	return rec.staExec && rec.stdExec
-}
-
-// executeLoad performs the cache access, hit-miss prediction accounting and
-// collision detection for a dispatching load.
-func (e *Engine) executeLoad(idx int32, en *entry) {
-	en.dispatched = true
-	en.inRS = false
-	e.rsCount--
-	en.dispCycle = e.now
-
-	// Hit-miss prediction must precede the access (the perfect predictor
-	// probes current cache state). Level predictors refine the binary
-	// hit/miss to the servicing level (§2.2 "for all levels").
-	predLevel := cache.L1
-	if lp, ok := e.hmp.(hitmiss.LevelPredictor); ok {
-		predLevel = lp.PredictLevel(en.u.IP, en.u.Addr, e.now)
-		en.predHit = predLevel == cache.L1
-	} else {
-		en.predHit = e.hmp.PredictHit(en.u.IP, en.u.Addr, e.now)
-		if !en.predHit {
-			predLevel = cache.L2
-		}
-	}
-	en.level = e.hier.Access(en.u.Addr)
-	en.actualHit = en.level == cache.L1
-
-	actualLat := e.cfg.Lat.Of(en.level)
-	// Dynamic miss: the line's fill is still in flight (the cache model
-	// fills eagerly, so the directory says hit, but the data has not
-	// arrived). The load waits out the remaining fill time — and only the
-	// timing-enhanced predictor can anticipate it (§2.2).
-	dynamicMiss := false
-	e.missq.Advance(e.now)
-	if ready, ok := e.missq.ReadyAt(en.u.Addr); ok && ready > e.now {
-		en.actualHit = false
-		dynamicMiss = true
-		if rem := int(ready-e.now) + e.cfg.Lat.L1; rem > actualLat {
-			actualLat = rem
-		}
-	}
-	if e.hmpOracle {
-		en.predHit = en.actualHit
-		predLevel = en.level
-		if dynamicMiss {
-			predLevel = cache.L2 // any non-L1 value: the oracle is exact below
-		}
-	}
-	predLat := e.cfg.Lat.Of(predLevel)
-	switch {
-	case en.actualHit && en.predHit: // AH-PH
-		en.cacheDone = e.now + int64(actualLat)
-	case en.actualHit && !en.predHit: // AH-PM: wait for the hit indication
-		en.cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
-	case !en.actualHit && en.predHit: // AM-PH: dependents replay
-		en.cacheDone = e.now + int64(actualLat+e.cfg.MissReplayPenalty)
-		e.replayIntDebt += e.cfg.MissReplayUops
-		if e.cfg.MissRecoveryBubble > 0 {
-			// The miss is discovered when the hit indication arrives; the
-			// squash-and-reschedule bubble lands then.
-			e.missDetections = append(e.missDetections, e.now+int64(e.cfg.Lat.HitIndication))
-		}
-	default: // AM-PM: dependents scheduled for the predicted level's latency
-		en.cacheDone = e.now + int64(actualLat)
-		switch {
-		case dynamicMiss || e.hmpOracle:
-			// The MSHR (or the oracle) supplies the exact arrival time.
-		case actualLat > predLat:
-			// Serviced deeper than scheduled (e.g. predicted L2, went to
-			// memory): the dependents scheduled for predLat replay.
-			en.cacheDone += int64(e.cfg.MissReplayPenalty)
-		case actualLat < predLat:
-			// Serviced shallower than scheduled: dependents sleep until the
-			// early indication wakes them.
-			en.cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
-		}
-	}
-	en.cacheDone += en.bankDelay
-	if !en.actualHit {
-		e.missq.RecordMiss(en.u.Addr, e.now+int64(actualLat))
-	}
-
-	if e.cfg.OnMemoryLoad != nil && en.level == cache.Memory && !dynamicMiss {
-		if predLevel == cache.Memory {
-			// The predictor anticipated the full miss at dispatch.
-			e.cfg.OnMemoryLoad(en.cacheDone-e.now, true)
-		} else {
-			// Discovered only when the hit indication arrives.
-			rem := en.cacheDone - e.now - int64(e.cfg.Lat.HitIndication)
-			if rem < 0 {
-				rem = 0
-			}
-			e.cfg.OnMemoryLoad(rem, false)
-		}
-	}
-
-	// Collision detection: the youngest older overlapping store whose data
-	// is not complete at dispatch forces the paper's collision penalty.
-	var match *storeRec
-	for id := en.olderStores; id >= e.mobFirst; id-- {
-		rec := e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) {
-			match = rec
-			break
-		}
-	}
-	if match != nil && !match.stdExec {
-		// Ordering violation: the matching store's data has not even been
-		// scheduled. The load is parked until the STD executes; detection of
-		// the violation then costs a recovery bubble and replay bandwidth.
-		en.collided = true
-		e.stats.Collisions++
-		en.waitStore = match.id
-		e.pendingColl = append(e.pendingColl, idx)
-		if e.cfg.Barrier != nil {
-			match.violated = true
-			e.cfg.Barrier.RecordViolation(match.ip)
-		}
-		return
-	}
-	en.done = true
-	en.doneCycle = en.cacheDone
-	if match != nil && match.stdExecCyc >= e.now {
-		// The data is in flight with a known completion time: plain
-		// store-to-load forwarding, one extra cycle, no penalty.
-		if fwd := match.stdExecCyc + 1; fwd > en.doneCycle {
-			en.doneCycle = fwd
-		}
-	}
-	if e.cfg.DistanceForwarding && e.cfg.Scheme == memdep.Exclusive &&
-		en.pred.Colliding && en.pred.Distance != memdep.NoDistance && match != nil {
-		// Load-store pairing through the predicted distance: when the
-		// predicted distance names the matching store, the load's data comes
-		// from the store queue at ForwardLatency instead of the cache.
-		if d := int(en.olderStores - match.id + 1); d == en.pred.Distance {
-			fwd := match.stdExecCyc + int64(e.cfg.ForwardLatency)
-			if fwd < e.now+int64(e.cfg.ForwardLatency) {
-				fwd = e.now + int64(e.cfg.ForwardLatency)
-			}
-			if fwd < en.doneCycle {
-				en.doneCycle = fwd
-				e.stats.Forwards++
-			}
-		}
-	}
-}
-
-// finishCollidedLoad completes a collided load once the colliding store's
-// data time is known. The wrongly-advanced load re-executes after the store
-// data arrives: it pays the forwarding/cache latency again plus the
-// recovery penalty. A correctly-delayed load would have dispatched at
-// stdDone and seen its data one cache latency later, so the collision costs
-// exactly CollisionPenalty extra — the paper's accounting.
-func (e *Engine) finishCollidedLoad(en *entry, stdDone int64) {
-	en.done = true
-	en.doneCycle = stdDone + int64(e.cfg.Lat.L1+e.cfg.CollisionPenalty)
-	if en.cacheDone > en.doneCycle {
-		en.doneCycle = en.cacheDone
-	}
-	// A machine without the P6 stall-in-RS ability re-executes the load and
-	// its dependents "until the STD is successfully completed" (§1.1): one
-	// replay round per cache latency of waiting, each burning issue slots.
-	rounds := 1 + int(stdDone-en.dispCycle)/e.cfg.Lat.L1
-	if rounds < 1 {
-		rounds = 1
-	}
-	e.replayMemDebt += rounds
-	e.replayIntDebt += rounds * e.cfg.CollisionReplayUops
-}
-
-// resolveCollisions completes loads whose colliding STD has now executed.
-func (e *Engine) resolveCollisions() {
-	if len(e.pendingColl) == 0 {
-		return
-	}
-	kept := e.pendingColl[:0]
-	for _, idx := range e.pendingColl {
-		en := &e.rob[idx]
-		rec := e.mobGet(en.waitStore)
-		if rec == nil {
-			// The store fully retired in this very cycle's retire phase (its
-			// STD completed just before we ran). The collision still
-			// happened — resolve it against the current cycle so the penalty
-			// is not silently dropped.
-			e.finishCollidedLoad(en, e.now)
-			continue
-		}
-		if rec.stdExec && rec.stdExecCyc <= e.now {
-			e.finishCollidedLoad(en, rec.stdExecCyc)
-			// The violation is detected now: the scheduler spends a bubble
-			// re-sequencing the load's dependence tree.
-			until := e.now + int64(e.cfg.CollisionRecoveryBubble)
-			if until > e.recoveryStallUntil {
-				e.recoveryStallUntil = until
-			}
-			continue
-		}
-		kept = append(kept, idx)
-	}
-	e.pendingColl = kept
-}
-
-// ---------- retire ----------
-
-func (e *Engine) retire() {
-	for n := 0; n < e.cfg.RetireWidth && e.count > 0; n++ {
-		idx := e.head
-		en := &e.rob[idx]
-		if !en.done || en.doneCycle > e.now {
-			return
-		}
-		e.retireEntry(en)
-		en.valid = false
-		e.head = (e.head + 1) % len(e.rob)
-		e.count--
-	}
-}
-
-func (e *Engine) retireEntry(en *entry) {
-	e.stats.Uops++
-	switch en.u.Kind {
-	case uop.Load:
-		e.retireLoad(en)
-	case uop.STA:
-		e.stats.Stores++
-		e.mobGet(en.u.StoreID).staRetired = true
-	case uop.STD:
-		rec := e.mobGet(en.u.StoreID)
-		rec.stdRetired = true
-		if e.cfg.Barrier != nil && !rec.violated {
-			e.cfg.Barrier.RecordClean(rec.ip)
-		}
-		e.mobPrune()
-	case uop.Branch:
-		e.stats.Branches++
-	}
-}
-
-func (e *Engine) retireLoad(en *entry) {
-	e.stats.Loads++
-	switch en.level {
-	case cache.L1:
-		e.stats.L1Hits++
-	case cache.L2:
-		e.stats.L1Misses++
-	default:
-		e.stats.L1Misses++
-		e.stats.L2Misses++
-	}
-
-	// Figure 1 classification bookkeeping.
-	c := &e.stats.Class
-	c.Loads++
-	predColl := en.pred.Colliding
-	switch {
-	case !en.conflicting:
-		c.NotConflicting++
-	case en.colliding && predColl:
-		c.ACPC++
-	case en.colliding && !predColl:
-		c.ACPNC++
-	case !en.colliding && predColl:
-		c.ANCPC++
-	default:
-		c.ANCPNC++
-	}
-
-	// Predictor training.
-	if e.cfg.Scheme.UsesCHT() {
-		e.cht.Record(en.u.IP, en.colliding, en.collDist)
-	}
-	e.stats.HM.Record(en.actualHit, en.predHit)
-	if lp, ok := e.hmp.(hitmiss.LevelPredictor); ok {
-		lp.UpdateLevel(en.u.IP, en.u.Addr, e.now, en.level)
-	} else {
-		e.hmp.Update(en.u.IP, en.u.Addr, e.now, en.actualHit)
-	}
-	e.bank.train(en)
-	if e.cfg.OnLoadRetire != nil {
-		e.cfg.OnLoadRetire(LoadEvent{
-			IP: en.u.IP, Addr: en.u.Addr,
-			Colliding: en.colliding, Distance: en.collDist,
-			Hit: en.actualHit, Conflicting: en.conflicting,
-		})
-	}
-}

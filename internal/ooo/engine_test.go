@@ -371,7 +371,15 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.MemUnits = 0 },
 		func(c *Config) { c.Scheme = memdep.Inclusive; c.CHT = nil },
 		func(c *Config) { c.CollisionPenalty = -1 },
+		func(c *Config) { c.MissRecoveryBubble = -1 },
+		func(c *Config) { c.CollisionRecoveryBubble = -1 },
+		func(c *Config) { c.CollisionReplayUops = -1 },
+		func(c *Config) { c.MissReplayUops = -1 },
+		func(c *Config) { c.BankMispredictPenalty = -1 },
+		func(c *Config) { c.BankDualSchedLatency = -1 },
+		func(c *Config) { c.ForwardLatency = -1 },
 		func(c *Config) { c.Hier.L1D.LineBytes = 48 },
+		func(c *Config) { c.Hier.L1I.SizeBytes = 48 }, // non-zero L1I must cohere
 	}
 	for i, mutate := range bad {
 		cfg := DefaultConfig()

@@ -1,0 +1,83 @@
+package ooo
+
+import "loadsched/internal/uop"
+
+// Front-end stage: fetch + rename. Pulls up to FetchWidth uops per cycle
+// from the source, allocates ROB/scheduling-window entries, resolves
+// register producers, opens MOB records for store halves, and consults the
+// speculation policy for each load's collision prediction. A mispredicted
+// branch stalls fetch until the branch resolves plus the refill bubble.
+
+func (e *Engine) fetchRename() {
+	if e.awaitingBranch || e.now < e.resumeAt {
+		return
+	}
+	for i := 0; i < e.cfg.FetchWidth; i++ {
+		if e.count >= len(e.rob) || e.rsCount >= e.cfg.Window {
+			e.stats.RenameStalls++
+			e.cycleRenameStalled = true
+			return
+		}
+		u := e.src.Next()
+		e.rename(u)
+		if u.Kind == uop.Branch && u.Mispredicted {
+			// Fetch goes down the wrong path; stall until this branch
+			// resolves plus the refill bubble.
+			e.stats.BranchMispredicts++
+			e.awaitingBranch = true
+			return
+		}
+	}
+}
+
+func (e *Engine) rename(u uop.UOp) {
+	idx := e.robIdx(e.count)
+	e.count++
+	en := &e.rob[idx]
+	*en = entry{u: u, valid: true, inRS: true, src1Prod: -1, src2Prod: -1}
+	e.rsCount++
+
+	en.src1Prod, en.src1Seq = e.lookupProducer(u.Src1)
+	en.src2Prod, en.src2Seq = e.lookupProducer(u.Src2)
+	if u.Dst != uop.NoReg {
+		e.regProd[u.Dst] = int32(idx)
+		e.regSeq[u.Dst] = u.Seq
+	}
+	if u.Kind == uop.Branch && u.Mispredicted {
+		en.blockingBranch = true
+	}
+
+	switch u.Kind {
+	case uop.STA:
+		rec := e.mobEnsure(u.StoreID)
+		rec.ip = u.IP
+		rec.addr = u.Addr
+		rec.size = int(u.Size)
+		rec.staSeen = true
+		if e.cfg.Barrier != nil && e.cfg.Barrier.ShouldBarrier(u.IP) {
+			rec.barrier = true
+		}
+	case uop.STD:
+		rec := e.mobEnsure(u.StoreID)
+		rec.stdSeen = true
+	case uop.Load:
+		en.olderStores = e.lastStoreID()
+		en.pred = e.policy.PredictCollision(u.IP)
+	}
+}
+
+// lookupProducer resolves a source register to its in-flight producer.
+func (e *Engine) lookupProducer(r uop.Reg) (int32, int64) {
+	if r == uop.NoReg {
+		return -1, 0
+	}
+	idx := e.regProd[r]
+	if idx < 0 {
+		return -1, 0
+	}
+	en := &e.rob[idx]
+	if !en.valid || en.u.Seq != e.regSeq[r] || en.u.Dst != r {
+		return -1, 0 // producer already retired
+	}
+	return idx, en.u.Seq
+}

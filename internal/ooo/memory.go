@@ -1,0 +1,188 @@
+package ooo
+
+// Memory-order buffer (MOB) stage: tracks every in-flight store's two
+// halves, classifies loads against older stores (the paper's
+// conflicting/colliding taxonomy), answers the ordering queries the
+// speculation policy asks through MOBView, and resolves collided loads once
+// the offending store's data timing is known.
+
+func (e *Engine) mobEnsure(id int64) *storeRec {
+	for int64(len(e.mob)) <= id-e.mobFirst {
+		e.mob = append(e.mob, storeRec{id: e.mobFirst + int64(len(e.mob))})
+	}
+	return &e.mob[id-e.mobFirst]
+}
+
+func (e *Engine) mobGet(id int64) *storeRec {
+	if id < e.mobFirst || id-e.mobFirst >= int64(len(e.mob)) {
+		return nil
+	}
+	return &e.mob[id-e.mobFirst]
+}
+
+// lastStoreID returns the id of the youngest store renamed so far.
+func (e *Engine) lastStoreID() int64 { return e.mobFirst + int64(len(e.mob)) - 1 }
+
+// mobPrune drops fully retired stores from the MOB head.
+func (e *Engine) mobPrune() {
+	for len(e.mob) > 0 {
+		r := &e.mob[0]
+		if !(r.staRetired && r.stdRetired) {
+			return
+		}
+		e.mob = e.mob[1:]
+		e.mobFirst++
+	}
+}
+
+// overlap reports whether two accesses touch common bytes.
+func overlap(a uint64, asz int, b uint64, bsz int) bool {
+	return a < b+uint64(bsz) && b < a+uint64(asz)
+}
+
+// classifyLoad computes the AC/ANC/not-conflicting status of Figure 1.
+//
+// A load is *conflicting* when an older in-window store is incomplete at the
+// load's schedule time, and *colliding* when such a store also overlaps the
+// load's address — i.e. advancing the load would make it consume stale data
+// and pay the collision penalty. (The paper defines conflict through
+// unresolved STAs only; we fold in pending STDs so that the classification,
+// the collision penalty, and CHT training all describe the same event — see
+// DESIGN.md.)
+func (e *Engine) classifyLoad(en *entry) {
+	en.classified = true
+	conflicting, colliding, dist := false, false, 0
+	for id := e.mobFirst; id <= en.olderStores; id++ {
+		rec := e.mobGet(id)
+		if rec == nil || !rec.staSeen {
+			continue
+		}
+		if e.storeDone(rec) {
+			// Both halves have at least dispatched: the scheduler knows the
+			// address and the data timing, so no ambiguity remains.
+			continue
+		}
+		conflicting = true
+		if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) {
+			colliding = true
+			d := int(en.olderStores - rec.id + 1)
+			if dist == 0 || d < dist {
+				dist = d
+			}
+		}
+	}
+	en.conflicting = conflicting
+	en.colliding = colliding
+	en.collDist = dist
+}
+
+// barrierBlocked reports an in-flight incomplete store the [Hess95] barrier
+// cache flagged at rename; loads may not pass it regardless of scheme.
+func (e *Engine) barrierBlocked(maxID int64) bool {
+	for id := e.mobFirst; id <= maxID; id++ {
+		rec := e.mobGet(id)
+		if rec != nil && rec.barrier && !e.storeDone(rec) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) storeDone(rec *storeRec) bool {
+	return rec.staExec && rec.stdExec
+}
+
+// mobView hands the speculation policy a read-only window onto the MOB.
+func (e *Engine) mobView() MOBView { return engineMOB{e} }
+
+// engineMOB adapts the engine's MOB to the policy-facing MOBView.
+type engineMOB struct{ e *Engine }
+
+func (m engineMOB) FirstStore() int64 { return m.e.mobFirst }
+
+// StoresComplete reports whether all in-window stores with id ≤ maxID have
+// dispatched their STA (and, if withSTD, their STD).
+func (m engineMOB) StoresComplete(maxID int64, withSTD bool) bool {
+	for id := m.e.mobFirst; id <= maxID; id++ {
+		rec := m.e.mobGet(id)
+		if rec == nil || !rec.staSeen {
+			continue
+		}
+		if !rec.staExec {
+			return false
+		}
+		if withSTD && !rec.stdExec {
+			return false
+		}
+	}
+	return true
+}
+
+func (m engineMOB) OverlapIncomplete(maxID int64, addr uint64, size int) bool {
+	for id := m.e.mobFirst; id <= maxID; id++ {
+		rec := m.e.mobGet(id)
+		if rec == nil || !rec.staSeen {
+			continue
+		}
+		if overlap(rec.addr, rec.size, addr, size) && !m.e.storeDone(rec) {
+			return true
+		}
+	}
+	return false
+}
+
+// finishCollidedLoad completes a collided load once the colliding store's
+// data time is known. The wrongly-advanced load re-executes after the store
+// data arrives: it pays the forwarding/cache latency again plus the
+// recovery penalty. A correctly-delayed load would have dispatched at
+// stdDone and seen its data one cache latency later, so the collision costs
+// exactly CollisionPenalty extra — the paper's accounting.
+func (e *Engine) finishCollidedLoad(en *entry, stdDone int64) {
+	en.done = true
+	en.doneCycle = stdDone + int64(e.cfg.Lat.L1+e.cfg.CollisionPenalty)
+	if en.cacheDone > en.doneCycle {
+		en.doneCycle = en.cacheDone
+	}
+	// A machine without the P6 stall-in-RS ability re-executes the load and
+	// its dependents "until the STD is successfully completed" (§1.1): one
+	// replay round per cache latency of waiting, each burning issue slots.
+	rounds := 1 + int(stdDone-en.dispCycle)/e.cfg.Lat.L1
+	if rounds < 1 {
+		rounds = 1
+	}
+	e.replayMemDebt += rounds
+	e.replayIntDebt += rounds * e.cfg.CollisionReplayUops
+}
+
+// resolveCollisions completes loads whose colliding STD has now executed.
+func (e *Engine) resolveCollisions() {
+	if len(e.pendingColl) == 0 {
+		return
+	}
+	kept := e.pendingColl[:0]
+	for _, idx := range e.pendingColl {
+		en := &e.rob[idx]
+		rec := e.mobGet(en.waitStore)
+		if rec == nil {
+			// The store fully retired in this very cycle's retire phase (its
+			// STD completed just before we ran). The collision still
+			// happened — resolve it against the current cycle so the penalty
+			// is not silently dropped.
+			e.finishCollidedLoad(en, e.now)
+			continue
+		}
+		if rec.stdExec && rec.stdExecCyc <= e.now {
+			e.finishCollidedLoad(en, rec.stdExecCyc)
+			// The violation is detected now: the scheduler spends a bubble
+			// re-sequencing the load's dependence tree.
+			until := e.now + int64(e.cfg.CollisionRecoveryBubble)
+			if until > e.recoveryStallUntil {
+				e.recoveryStallUntil = until
+				e.recoveryCause = stallCollision
+			}
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	e.pendingColl = kept
+}

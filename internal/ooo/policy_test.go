@@ -1,0 +1,64 @@
+package ooo
+
+import (
+	"testing"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/trace"
+)
+
+// TestNewPolicyWrapsDefault checks the seam is transparent: installing a
+// NewPolicy constructor that just returns the built-in policy must
+// reproduce the default path's statistics exactly.
+func TestNewPolicyWrapsDefault(t *testing.T) {
+	p, _ := trace.TraceByName(trace.GroupSysmarkNT, "ex")
+	// Each engine needs its own config: the CHT instance is stateful, so
+	// sharing one across runs would leak training from the first run into
+	// the second.
+	mkCfg := func() Config {
+		cfg := DefaultConfig()
+		cfg.Scheme = memdep.Inclusive
+		cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+		return cfg
+	}
+	base := NewEngine(mkCfg(), trace.New(p)).Run(20000)
+
+	wrapped := mkCfg()
+	wrapped.NewPolicy = func(deps PolicyDeps) SpeculationPolicy {
+		return DefaultPolicy(wrapped, deps)
+	}
+	got := NewEngine(wrapped, trace.New(p)).Run(20000)
+	if got != base {
+		t.Fatalf("wrapping DefaultPolicy changed the run:\nbase: %+v\ngot:  %+v", base, got)
+	}
+}
+
+// allowAllPolicy overrides one decision of the default policy: every load
+// may pass every store — the Opportunistic scheme expressed as a custom
+// policy instead of a cycle-loop edit.
+type allowAllPolicy struct{ SpeculationPolicy }
+
+func (allowAllPolicy) AllowOrdering(LoadView, MOBView) bool { return true }
+
+// TestNewPolicyOverridesOrdering checks a custom policy actually steers the
+// schedule stage: an always-allow ordering policy on a Traditional machine
+// must match the built-in Opportunistic scheme.
+func TestNewPolicyOverridesOrdering(t *testing.T) {
+	p, _ := trace.TraceByName(trace.GroupSysmarkNT, "ex")
+	oppCfg := DefaultConfig()
+	oppCfg.Scheme = memdep.Opportunistic
+	opp := NewEngine(oppCfg, trace.New(p)).Run(20000)
+
+	cfg := DefaultConfig() // Traditional
+	cfg.NewPolicy = func(deps PolicyDeps) SpeculationPolicy {
+		return allowAllPolicy{DefaultPolicy(cfg, deps)}
+	}
+	got := NewEngine(cfg, trace.New(p)).Run(20000)
+	if got.Cycles != opp.Cycles || got.Collisions != opp.Collisions {
+		t.Fatalf("always-allow policy (cycles=%d collisions=%d) != Opportunistic (cycles=%d collisions=%d)",
+			got.Cycles, got.Collisions, opp.Cycles, opp.Collisions)
+	}
+	if got.Collisions == 0 {
+		t.Fatal("expected the advanced loads to collide sometimes")
+	}
+}

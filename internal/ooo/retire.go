@@ -1,0 +1,92 @@
+package ooo
+
+import (
+	"loadsched/internal/cache"
+	"loadsched/internal/uop"
+)
+
+// Retire stage: drains up to RetireWidth completed uops per cycle from the
+// ROB head in program order, finalizes the figure statistics, prunes the
+// MOB, and feeds every retired load back through the speculation policy's
+// training hook.
+
+func (e *Engine) retire() {
+	for n := 0; n < e.cfg.RetireWidth && e.count > 0; n++ {
+		idx := e.head
+		en := &e.rob[idx]
+		if !en.done || en.doneCycle > e.now {
+			return
+		}
+		e.retireEntry(en)
+		en.valid = false
+		e.head = (e.head + 1) % len(e.rob)
+		e.count--
+	}
+}
+
+func (e *Engine) retireEntry(en *entry) {
+	e.stats.Uops++
+	e.cycleRetired++
+	switch en.u.Kind {
+	case uop.Load:
+		e.retireLoad(en)
+	case uop.STA:
+		e.stats.Stores++
+		e.mobGet(en.u.StoreID).staRetired = true
+	case uop.STD:
+		rec := e.mobGet(en.u.StoreID)
+		rec.stdRetired = true
+		if e.cfg.Barrier != nil && !rec.violated {
+			e.cfg.Barrier.RecordClean(rec.ip)
+		}
+		e.mobPrune()
+	case uop.Branch:
+		e.stats.Branches++
+	}
+}
+
+func (e *Engine) retireLoad(en *entry) {
+	e.stats.Loads++
+	switch en.level {
+	case cache.L1:
+		e.stats.L1Hits++
+	case cache.L2:
+		e.stats.L1Misses++
+	default:
+		e.stats.L1Misses++
+		e.stats.L2Misses++
+	}
+
+	// Figure 1 classification bookkeeping.
+	c := &e.stats.Class
+	c.Loads++
+	predColl := en.pred.Colliding
+	switch {
+	case !en.conflicting:
+		c.NotConflicting++
+	case en.colliding && predColl:
+		c.ACPC++
+	case en.colliding && !predColl:
+		c.ACPNC++
+	case !en.colliding && predColl:
+		c.ANCPC++
+	default:
+		c.ANCPNC++
+	}
+
+	// Predictor training: the measurement tally stays engine-side, the
+	// predictors themselves learn through the policy seam.
+	e.stats.HM.Record(en.actualHit, en.predHit)
+	e.policy.TrainRetire(TrainEvent{
+		IP: en.u.IP, Addr: en.u.Addr, Now: e.now,
+		Colliding: en.colliding, Distance: en.collDist,
+		Hit: en.actualHit, Level: en.level,
+	})
+	if e.cfg.OnLoadRetire != nil {
+		e.cfg.OnLoadRetire(LoadEvent{
+			IP: en.u.IP, Addr: en.u.Addr,
+			Colliding: en.colliding, Distance: en.collDist,
+			Hit: en.actualHit, Conflicting: en.conflicting,
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package ooo
+
+import "loadsched/internal/uop"
+
+// Schedule/dispatch stage: walks the scheduling window oldest-first each
+// cycle, allocates execution ports, pays down replay debt, and applies the
+// speculation policy's ordering and bank-steering decisions to ready loads.
+// Recovery bubbles (collision repair, late-discovered misses) gate the whole
+// stage. The oldest-first walk order makes the first scheduler hold noted
+// per cycle the oldest one, which is what feeds the CPI stack.
+
+func (e *Engine) dispatch() {
+	if len(e.missDetections) > 0 {
+		kept := e.missDetections[:0]
+		for _, d := range e.missDetections {
+			if d <= e.now {
+				if until := e.now + int64(e.cfg.MissRecoveryBubble); until > e.recoveryStallUntil {
+					e.recoveryStallUntil = until
+					e.recoveryCause = stallMissReplay
+				}
+				continue
+			}
+			kept = append(kept, d)
+		}
+		e.missDetections = kept
+	}
+	if e.now < e.recoveryStallUntil {
+		return // replay/collision recovery in progress: no dispatch this cycle
+	}
+	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
+	e.drainReplayDebt()
+	e.policy.BeginCycle()
+	for pos := 0; pos < e.count; pos++ {
+		idx := e.robIdx(pos)
+		en := &e.rob[idx]
+		if !en.valid || !en.inRS || en.dispatched {
+			continue
+		}
+		if !e.sourcesReady(en) {
+			continue
+		}
+		switch en.u.Kind {
+		case uop.Load:
+			e.maybeDispatchLoad(int32(idx), en)
+		case uop.STA:
+			if e.memUsed < e.cfg.MemUnits {
+				e.memUsed++
+				e.dispatchSTA(en)
+			} else {
+				e.noteSchedHold(stallPort)
+			}
+		case uop.STD:
+			if e.stdUsed < e.cfg.STDPorts {
+				e.stdUsed++
+				e.dispatchSTD(en)
+			} else {
+				e.noteSchedHold(stallPort)
+			}
+		case uop.FPU:
+			if e.fpUsed < e.cfg.FPUnits {
+				e.fpUsed++
+				e.complete(en, e.cfg.latencyOf(uop.FPU))
+			} else {
+				e.noteSchedHold(stallPort)
+			}
+		case uop.Complex:
+			if e.cplxUsed < e.cfg.ComplexUnits {
+				e.cplxUsed++
+				e.complete(en, e.cfg.latencyOf(uop.Complex))
+			} else {
+				e.noteSchedHold(stallPort)
+			}
+		default: // IntALU, Branch, Nop
+			if e.intUsed < e.cfg.IntUnits {
+				e.intUsed++
+				e.complete(en, e.cfg.latencyOf(en.u.Kind))
+				if en.blockingBranch {
+					e.awaitingBranch = false
+					e.resumeAt = en.doneCycle + int64(e.cfg.FrontEndRefill)
+				}
+			} else {
+				e.noteSchedHold(stallPort)
+			}
+		}
+	}
+}
+
+// maybeDispatchLoad applies classification and the active ordering scheme,
+// then executes the load if allowed.
+func (e *Engine) maybeDispatchLoad(idx int32, en *entry) {
+	// Classification happens at schedule time: the first cycle the load's
+	// operands are ready (paper §2.1 definition of a conflicting load).
+	if !en.classified {
+		e.classifyLoad(en)
+	}
+	if e.memUsed >= e.cfg.MemUnits {
+		e.noteSchedHold(stallPort)
+		return
+	}
+	if !e.orderingAllows(en) {
+		e.noteSchedHold(stallOrdering)
+		return
+	}
+	d := e.policy.AdmitBank(loadView(en))
+	if d.Conflict {
+		e.stats.BankConflicts++
+	}
+	if d.Mispredict {
+		e.stats.BankMispredicts++
+	}
+	if d.Duplicate {
+		e.stats.BankDuplicates++
+	}
+	if !d.Admit {
+		e.noteSchedHold(stallBank)
+		return
+	}
+	en.bankDelay = d.Delay
+	e.memUsed++
+	e.executeLoad(idx, en)
+}
+
+// orderingAllows applies the optional [Hess95] store-barrier constraint (a
+// MOB property layered on every scheme) and then the policy's ordering
+// decision.
+func (e *Engine) orderingAllows(en *entry) bool {
+	if e.cfg.Barrier != nil && e.barrierBlocked(en.olderStores) {
+		return false
+	}
+	return e.policy.AllowOrdering(loadView(en), e.mobView())
+}
+
+// drainReplayDebt spends owed replay slots against this cycle's ports.
+func (e *Engine) drainReplayDebt() {
+	for e.replayMemDebt > 0 && e.memUsed < e.cfg.MemUnits {
+		e.memUsed++
+		e.replayMemDebt--
+	}
+	for e.replayIntDebt > 0 && e.intUsed < e.cfg.IntUnits {
+		e.intUsed++
+		e.replayIntDebt--
+	}
+}
+
+func (e *Engine) sourcesReady(en *entry) bool {
+	return e.producerReady(en.src1Prod, en.src1Seq) && e.producerReady(en.src2Prod, en.src2Seq)
+}
+
+func (e *Engine) producerReady(idx int32, seq int64) bool {
+	if idx < 0 {
+		return true
+	}
+	p := &e.rob[idx]
+	if !p.valid || p.u.Seq != seq {
+		return true // retired
+	}
+	return p.done && p.doneCycle <= e.now
+}
+
+// complete marks a fixed-latency uop dispatched with its completion time.
+func (e *Engine) complete(en *entry, lat int) {
+	en.dispatched = true
+	en.inRS = false
+	e.rsCount--
+	en.done = true
+	en.doneCycle = e.now + int64(lat)
+}
+
+func (e *Engine) dispatchSTA(en *entry) {
+	e.complete(en, e.cfg.LatSTA)
+	rec := e.mobGet(en.u.StoreID)
+	rec.staExec = true
+	rec.staExecCycle = en.doneCycle
+	// The store allocates its line (write-allocate) once its address is
+	// known; timing-wise the fill rides the store buffer, so no load-visible
+	// latency is modelled here.
+	e.hier.Access(en.u.Addr)
+}
+
+func (e *Engine) dispatchSTD(en *entry) {
+	e.complete(en, e.cfg.LatSTD)
+	rec := e.mobGet(en.u.StoreID)
+	rec.stdExec = true
+	rec.stdExecCyc = en.doneCycle
+}

@@ -42,6 +42,10 @@ type Stats struct {
 	// Forwards counts loads that took their data from the store queue via
 	// distance-predicted load-store pairing (the §2.1 forwarding extension).
 	Forwards uint64
+
+	// CPI attributes every measured cycle to one stall cause;
+	// CPI.Total() == Cycles over the measured region (see cpi.go).
+	CPI CPIStack
 }
 
 // IPC returns retired uops per cycle.
@@ -90,4 +94,5 @@ func (s *Stats) Add(o Stats) {
 	s.BankMispredicts += o.BankMispredicts
 	s.BankDuplicates += o.BankDuplicates
 	s.Forwards += o.Forwards
+	s.CPI.Add(o.CPI)
 }

@@ -69,6 +69,8 @@ func DecodeRecord(data []byte) (Record, error) {
 		err = decodeRows[HitMissRow](raw.Rows, &rec)
 	case KindBank:
 		err = decodeRows[BankRow](raw.Rows, &rec)
+	case KindCPIStack:
+		err = decodeRows[CPIStackRow](raw.Rows, &rec)
 	case KindTable:
 		err = decodeRows[[]string](raw.Rows, &rec)
 	default:

@@ -41,6 +41,9 @@ const (
 	// KindTable rows are positional strings mirroring a rendered text table
 	// (sensitivity sweeps).
 	KindTable Kind = "table"
+	// KindCPIStack rows attribute every simulated cycle to a stall cause;
+	// per-cause cycles sum to the row's total cycles by construction.
+	KindCPIStack Kind = "cpistack"
 )
 
 // Options echoes the experiment configuration a record was produced with.
@@ -197,6 +200,30 @@ type BankRow struct {
 	MetricByPenalty []float64 `json:"metric_by_penalty,omitempty"`
 }
 
+// CPIStackRow is one machine/workload's cycle-attribution stack. The cause
+// columns partition Cycles (they sum to it exactly); the Frac* columns are
+// the same causes as shares of all cycles — the stacked-bar y-axis.
+type CPIStackRow struct {
+	Key    string  `json:"key"`
+	Cycles int64   `json:"cycles"`
+	Uops   uint64  `json:"uops"`
+	CPI    float64 `json:"cpi"`
+	// The cause partition, in pipeline order.
+	Base              int64 `json:"base"`
+	Frontend          int64 `json:"frontend"`
+	WindowFull        int64 `json:"window_full"`
+	PortContention    int64 `json:"port_contention"`
+	OrderingWait      int64 `json:"ordering_wait"`
+	BankConflict      int64 `json:"bank_conflict"`
+	CollisionRecovery int64 `json:"collision_recovery"`
+	MissReplay        int64 `json:"miss_replay"`
+	DataStall         int64 `json:"data_stall"`
+	// Shares of all cycles for the dominant stall causes.
+	FracBase     float64 `json:"frac_base"`
+	FracOrdering float64 `json:"frac_ordering"`
+	FracData     float64 `json:"frac_data"`
+}
+
 // New assembles a Record with the current schema version.
 func New(id string, kind Kind, title, note string, opts Options, rows any) Record {
 	return Record{Schema: SchemaVersion, ID: id, Kind: kind, Title: title,
@@ -237,6 +264,19 @@ func (r Record) Validate() error {
 		_, ok = r.Rows.([]HitMissRow)
 	case KindBank:
 		_, ok = r.Rows.([]BankRow)
+	case KindCPIStack:
+		rows, typed := r.Rows.([]CPIStackRow)
+		ok = typed
+		// The defining invariant of a CPI stack: causes partition cycles.
+		for _, row := range rows {
+			sum := row.Base + row.Frontend + row.WindowFull + row.PortContention +
+				row.OrderingWait + row.BankConflict + row.CollisionRecovery +
+				row.MissReplay + row.DataStall
+			if sum != row.Cycles {
+				return fmt.Errorf("results: cpistack record %q row %q: causes sum to %d, cycles are %d",
+					r.ID, row.Key, sum, row.Cycles)
+			}
+		}
 	case KindTable:
 		_, ok = r.Rows.([][]string)
 		if ok && len(r.Columns) == 0 {

@@ -52,6 +52,20 @@ func fixtureReport() Report {
 					Rate: 0.7, Accuracy: 0.98, MetricByPenalty: []float64{0.7, 0.65, 0.6}},
 				{Policy: "majority", Total: 1000, Correct: 490, Wrong: 10, Rate: 0.5, Accuracy: 0.98},
 			}),
+		New("cpistack", KindCPIStack, "CPI Stack — cycle attribution by stall cause", "",
+			Options{Uops: 1000, Warmup: 100},
+			[]CPIStackRow{
+				// The causes must sum to Cycles — Validate enforces it.
+				{Key: "SysmarkNT/Traditional", Cycles: 1000, Uops: 1800, CPI: 1000.0 / 1800,
+					Base: 420, Frontend: 8, WindowFull: 30, PortContention: 135,
+					OrderingWait: 260, BankConflict: 0, CollisionRecovery: 9,
+					MissReplay: 19, DataStall: 119,
+					FracBase: 0.42, FracOrdering: 0.26, FracData: 0.119},
+				{Key: "SysmarkNT/Inclusive", Cycles: 900, Uops: 1800, CPI: 0.5,
+					Base: 520, Frontend: 9, WindowFull: 42, PortContention: 150,
+					OrderingWait: 44, CollisionRecovery: 2, MissReplay: 23, DataStall: 110,
+					FracBase: 520.0 / 900, FracOrdering: 44.0 / 900, FracData: 110.0 / 900},
+			}),
 		NewTable("sweep-window", "IPC vs scheduling window", "paper constant is 32",
 			Options{Uops: 1000, Warmup: 100},
 			[]string{"window", "Traditional", "Perfect"},
@@ -139,6 +153,9 @@ func TestValidate(t *testing.T) {
 		{Schema: SchemaVersion, ID: "x", Kind: "nope", Rows: []SpeedupRow{}},
 		{Schema: SchemaVersion, ID: "x", Kind: KindSpeedup, Rows: []BankRow{}},
 		{Schema: SchemaVersion, ID: "x", Kind: KindTable, Rows: [][]string{{"a"}}},
+		// cpistack rows whose causes do not sum to the cycle count.
+		{Schema: SchemaVersion, ID: "x", Kind: KindCPIStack, Rows: []CPIStackRow{
+			{Key: "g/s", Cycles: 100, Base: 60, DataStall: 30}}},
 	}
 	for i, rec := range bad {
 		if err := rec.Validate(); err == nil {
@@ -165,6 +182,7 @@ func TestCSVHasHeaderPerRecord(t *testing.T) {
 	for _, want := range []string{
 		"# fig5 —", "key,loads,ac_pc",
 		"# fig7 —", "group,machine,scheme,predictor,trace,aggregate,speedup,dropped",
+		"# cpistack —", "key,cycles,uops,cpi,base,frontend,window_full",
 		"# sweep-window —", "window,Traditional,Perfect",
 	} {
 		if !strings.Contains(out, want) {

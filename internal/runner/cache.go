@@ -35,6 +35,11 @@ func ConfigKey(cfg ooo.Config) (key string, ok bool) {
 	if cfg.OnLoadRetire != nil || cfg.OnMemoryLoad != nil {
 		return "", false
 	}
+	// A custom speculation policy's behavior cannot be described
+	// canonically, so such configs run uncached.
+	if cfg.NewPolicy != nil {
+		return "", false
+	}
 	cht, ok := describe(cfg.CHT == nil, cfg.CHT)
 	if !ok {
 		return "", false
@@ -56,7 +61,7 @@ func ConfigKey(cfg ooo.Config) (key string, ok bool) {
 	// cleared; new scalar knobs are picked up automatically.
 	flat := cfg
 	flat.CHT, flat.HMP, flat.Barrier, flat.BankPredictor = nil, nil, nil, nil
-	flat.OnLoadRetire, flat.OnMemoryLoad = nil, nil
+	flat.OnLoadRetire, flat.OnMemoryLoad, flat.NewPolicy = nil, nil, nil
 	return fmt.Sprintf("%+v|cht=%s|hmp=%s|barrier=%s|bank=%s", flat, cht, hmp, bar, bp), true
 }
 

@@ -177,6 +177,11 @@ func TestConfigKeyCallbacksNotMemoizable(t *testing.T) {
 	if _, ok := ConfigKey(cb); ok {
 		t.Fatal("OnMemoryLoad config must not be memoizable")
 	}
+	cb = cfg
+	cb.NewPolicy = func(ooo.PolicyDeps) ooo.SpeculationPolicy { return nil }
+	if _, ok := ConfigKey(cb); ok {
+		t.Fatal("custom-policy config must not be memoizable")
+	}
 }
 
 // TestConfigKeyDistinguishesMachines: distinct machines must key apart, and

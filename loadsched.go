@@ -229,6 +229,22 @@ func (m Machine) config() (ooo.Config, error) {
 	return cfg, nil
 }
 
+// CPIBreakdown re-exports the per-cause cycle partition every simulation
+// collects: each cycle of Stats.Cycles lands in exactly one cause bucket, so
+// the causes sum to the total by construction.
+type CPIBreakdown = ooo.CPIStack
+
+// CPIStack simulates one workload on one machine and returns its cycle
+// attribution — where the cycles went, by stall cause. It shares the
+// process-wide memo cache with Run, so pairing the two costs one simulation.
+func CPIStack(w Workload, m Machine) (CPIBreakdown, error) {
+	res, err := Run(w, m)
+	if err != nil {
+		return CPIBreakdown{}, err
+	}
+	return res.Stats.CPI, nil
+}
+
 // Groups lists the seven synthetic trace groups with their member names.
 func Groups() map[string][]string {
 	out := map[string][]string{}
@@ -250,8 +266,9 @@ type Figures = experiments.Options
 // emitted as JSON or CSV by the internal/results package.
 type Report = results.Report
 
-// FigureReport runs the named figure records ("fig5".."fig12", or
-// "bankpolicies"; none = all eight paper figures) under o and returns the
+// FigureReport runs the named figure records ("fig5".."fig12",
+// "bankpolicies", or "cpistack"; none = all eight paper figures) under o and
+// returns the
 // structured report — the library counterpart of `loadsched all -format
 // json`. Record contents are a pure function of o (worker count excluded),
 // so reports are identical for every Workers setting.
