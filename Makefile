@@ -5,7 +5,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check race verify bench bench-json determinism cover clean
+# Benchmark knobs: the selection and iteration count feed bench-json and
+# bench-compare; BENCH_THRESHOLD is the regression gate in percent.
+BENCH ?= Fig|EngineCycle|TraceReplay
+BENCHTIME ?= 2x
+BENCH_OUT ?= BENCH_results.json
+BENCH_THRESHOLD ?= 10
+
+.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism cover clean
 
 all: build
 
@@ -30,11 +37,20 @@ race:
 bench:
 	$(GO) test -bench=RunnerMultiFigure -benchtime=3x -run='^$$'
 
-# bench-json: run the figure benchmarks and snapshot their metrics as
-# structured JSON, so the perf trajectory has machine-readable data points.
+# bench-json: run the figure + scheduler-core benchmarks and snapshot their
+# metrics as structured JSON, so the perf trajectory has machine-readable
+# data points.
 bench-json:
 	$(GO) build -o /tmp/loadsched-benchjson ./cmd/benchjson
-	$(GO) test -bench=Fig -benchtime=2x -benchmem -run='^$$' | /tmp/loadsched-benchjson -o BENCH_results.json
+	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem -run='^$$' | /tmp/loadsched-benchjson -o $(BENCH_OUT)
+
+# bench-compare: run the benchmarks fresh and diff them against the
+# committed baseline; exits non-zero on a regression beyond
+# BENCH_THRESHOLD percent.
+bench-compare:
+	$(GO) build -o /tmp/loadsched-benchdiff ./cmd/benchdiff
+	$(MAKE) bench-json BENCH_OUT=/tmp/loadsched-bench-new.json
+	/tmp/loadsched-benchdiff -threshold $(BENCH_THRESHOLD) BENCH_results.json /tmp/loadsched-bench-new.json
 
 # determinism: neither the CLI's figure tables nor its JSON records may
 # depend on the worker count.
@@ -61,5 +77,6 @@ cover:
 
 clean:
 	rm -f /tmp/loadsched-determinism /tmp/loadsched-benchjson \
+		/tmp/loadsched-benchdiff /tmp/loadsched-bench-new.json \
 		/tmp/loadsched-j1.txt /tmp/loadsched-j8.txt \
 		/tmp/loadsched-j1.json /tmp/loadsched-j8.json

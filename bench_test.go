@@ -282,6 +282,50 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCycle measures the event-driven scheduling core on the
+// baseline machine. Each iteration retires a fixed uop chunk on a primed
+// engine, so the numbers are steady-state per-chunk costs even under count
+// based -benchtime (the bench-json snapshot runs 2x). The simulated
+// cycles-per-uop is reported so throughput changes stay attributable (same
+// CPI + fewer ns = faster scheduler, not a different machine).
+func BenchmarkEngineCycle(b *testing.B) {
+	const chunk = 5_000
+	p, _ := trace.TraceByName(trace.GroupSysmarkNT, "ex")
+	cfg := ooo.DefaultConfig()
+	e := ooo.NewEngine(cfg, trace.Replay(p))
+	e.Run(chunk) // prime: fill the pipeline, caches and ready structures
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(chunk)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Now())/float64(e.Retired()), "cycles/uop")
+	b.ReportMetric(chunk, "uops/op")
+}
+
+// BenchmarkTraceReplay measures the shared-recording cursor next to
+// BenchmarkTraceGeneration: the steady-state cost once the profile is
+// materialized, which is what every simulation job after the first pays.
+// Each iteration replays one fixed-size chunk from the start.
+func BenchmarkTraceReplay(b *testing.B) {
+	const chunk = 4_096
+	p, _ := trace.TraceByName(trace.GroupSpecInt95, "gcc")
+	c := trace.Replay(p)
+	for i := 0; i < chunk; i++ {
+		c.Next() // warm the shared recording past the growth steps
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := trace.Replay(p)
+		for j := 0; j < chunk; j++ {
+			c.Next()
+		}
+	}
+	b.ReportMetric(chunk, "uops/op")
+}
+
 func BenchmarkCacheAccess(b *testing.B) {
 	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
 	b.ResetTimer()

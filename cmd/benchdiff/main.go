@@ -1,0 +1,167 @@
+// Command benchdiff compares two benchjson snapshots (loadsched.bench/v1)
+// and prints per-benchmark deltas for ns/op, B/op and allocs/op. It exits
+// non-zero when any compared metric regressed by more than -threshold
+// percent, which is what lets `make bench-compare` gate a change against
+// the committed BENCH_results.json baseline:
+//
+//	benchdiff -threshold 10 BENCH_results.json /tmp/new.json
+//
+// Positive deltas are regressions (more time, more bytes, more
+// allocations); negative deltas are improvements. Benchmarks present in
+// only one snapshot are reported but never gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark and Snapshot mirror cmd/benchjson's emitted layout. Unknown
+// fields (e.g. snapshots written before meta existed) are simply ignored.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Commit     string `json:"commit"`
+}
+
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	Meta       Meta        `json:"meta"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// comparedUnits are the metrics diffed and gated, in display order. Custom
+// b.ReportMetric units are workload descriptors (speedups, rates), not
+// costs, so they are not gated.
+var comparedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+func main() {
+	threshold := flag.Float64("threshold", 10,
+		"regression gate: exit non-zero when a metric grows by more than this percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldSnap, newSnap := load(flag.Arg(0)), load(flag.Arg(1))
+	noteMetaDrift(oldSnap, newSnap)
+
+	oldBy := indexByName(oldSnap)
+	newBy := indexByName(newSnap)
+	names := unionNames(oldBy, newBy)
+
+	fmt.Printf("%-40s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	regressed := false
+	for _, name := range names {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		switch {
+		case !inOld:
+			fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "(absent)", "-", "new")
+			continue
+		case !inNew:
+			fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "-", "(absent)", "gone")
+			continue
+		}
+		for _, unit := range comparedUnits {
+			ov, okOld := o.Metrics[unit]
+			nv, okNew := n.Metrics[unit]
+			if !okOld || !okNew {
+				continue // e.g. old run without -benchmem
+			}
+			pct := delta(ov, nv)
+			mark := ""
+			if pct > *threshold {
+				mark = " REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("%-40s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, ov, nv, pct, mark)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.1f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+// delta returns the percent change old -> new (positive = regression).
+func delta(old, new float64) float64 {
+	switch {
+	case old == new:
+		return 0
+	case old == 0:
+		// Growth from zero: infinite in percent terms; report 100% per unit
+		// grown so the gate still sees it.
+		return 100 * new
+	}
+	return (new - old) / old * 100
+}
+
+func load(path string) Snapshot {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		fail("parsing %s: %v", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		fail("%s holds no benchmarks", path)
+	}
+	return s
+}
+
+// noteMetaDrift warns when the two snapshots come from visibly different
+// environments; the numbers still print, the reader just knows they are
+// apples and oranges.
+func noteMetaDrift(a, b Snapshot) {
+	if a.Meta.GoVersion != "" && b.Meta.GoVersion != "" && a.Meta.GoVersion != b.Meta.GoVersion {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: go versions differ (%s vs %s)\n",
+			a.Meta.GoVersion, b.Meta.GoVersion)
+	}
+	if a.Meta.GOMAXPROCS != 0 && b.Meta.GOMAXPROCS != 0 && a.Meta.GOMAXPROCS != b.Meta.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: GOMAXPROCS differ (%d vs %d)\n",
+			a.Meta.GOMAXPROCS, b.Meta.GOMAXPROCS)
+	}
+}
+
+func indexByName(s Snapshot) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+func unionNames(a, b map[string]Benchmark) []string {
+	seen := map[string]bool{}
+	var names []string
+	for n := range a {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range b {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", a...)
+	os.Exit(2)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestDelta(t *testing.T) {
+	for _, tc := range []struct {
+		old, new, want float64
+	}{
+		{100, 100, 0},
+		{100, 150, 50},
+		{200, 100, -50},
+		{100, 90, -10},
+		{0, 0, 0},
+		{0, 3, 300}, // growth from zero still gates
+	} {
+		if got := delta(tc.old, tc.new); got != tc.want {
+			t.Errorf("delta(%v, %v) = %v, want %v", tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestUnionNamesSortedAndDeduped(t *testing.T) {
+	a := map[string]Benchmark{"Fig7": {}, "Fig5": {}}
+	b := map[string]Benchmark{"Fig5": {}, "Fig6": {}}
+	got := unionNames(a, b)
+	want := []string{"Fig5", "Fig6", "Fig7"}
+	if len(got) != len(want) {
+		t.Fatalf("unionNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unionNames = %v, want %v", got, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -33,20 +35,50 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Meta records the environment a snapshot was taken in, so snapshots from
+// different machines or toolchains are comparable (or visibly not).
+type Meta struct {
+	// GoVersion is runtime.Version() of the benchmarked binary.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler parallelism during the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Commit is the git HEAD hash at snapshot time ("unknown" outside a
+	// checkout).
+	Commit string `json:"commit"`
+}
+
 // Snapshot is the emitted envelope.
 type Snapshot struct {
 	Schema     string      `json:"schema"`
+	Meta       Meta        `json:"meta"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 // SchemaVersion names the snapshot layout.
 const SchemaVersion = "loadsched.bench/v1"
 
+// captureMeta snapshots the environment. The commit comes from git; any
+// failure (no git, not a checkout) degrades to "unknown" rather than
+// failing the run.
+func captureMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     "unknown",
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if c := strings.TrimSpace(string(out)); c != "" {
+			m.Commit = c
+		}
+	}
+	return m
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file")
 	flag.Parse()
 
-	snap := Snapshot{Schema: SchemaVersion}
+	snap := Snapshot{Schema: SchemaVersion, Meta: captureMeta()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

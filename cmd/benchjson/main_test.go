@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkFig5Classification-8   2   123456789 ns/op   12.5 AC%   1024 B/op   3 allocs/op")
@@ -26,6 +29,21 @@ func TestParseLineSubBenchmarkNoProcs(t *testing.T) {
 	}
 	if b.Name != "X/sub" || b.Procs != 1 || b.Runs != 5 {
 		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestCaptureMeta(t *testing.T) {
+	m := captureMeta()
+	if m.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", m.GoVersion, runtime.Version())
+	}
+	if m.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d, want >= 1", m.GOMAXPROCS)
+	}
+	// In a checkout the commit is a 40-hex hash; elsewhere "unknown". Both
+	// are valid — only emptiness would be a bug.
+	if m.Commit == "" {
+		t.Error("Commit is empty, want a hash or \"unknown\"")
 	}
 }
 

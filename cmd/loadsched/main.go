@@ -449,7 +449,7 @@ func runSingle(args []string) {
 
 	stop := op.startProfiling()
 	defer stop()
-	e := ooo.NewEngine(cfg, trace.New(p))
+	e := ooo.NewEngine(cfg, trace.Replay(p))
 	st := e.Run(o.Uops)
 	if *asJSON {
 		printRunJSON(*group, *traceName, cfg, st)

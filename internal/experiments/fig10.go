@@ -84,7 +84,7 @@ func fig10Traces(o Options, gname string) []trace.Profile {
 // order, calling fn with each load's actual L1 outcome. measured=false for
 // warmup loads.
 func replayLoads(p trace.Profile, o Options, fn func(ip, addr uint64, hit, measured bool)) {
-	g := trace.New(p)
+	g := trace.Replay(p)
 	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
 	warmup := o.EffectiveWarmup()
 	total := warmup + o.Uops

@@ -73,7 +73,7 @@ func Fig12(o Options) []Fig12Row {
 		for i, n := range Fig12Predictors {
 			preds[i] = fig12Make(n, banking)
 		}
-		g := trace.New(profiles[ti])
+		g := trace.Replay(profiles[ti])
 		total := warmup + o.Uops
 		for u := 0; u < total; u++ {
 			up := g.Next()

@@ -82,7 +82,7 @@ func Fig9(o Options) []Fig9Row {
 		cfg := baseConfig(memdep.Traditional)
 		cfg.WarmupUops = o.EffectiveWarmup()
 		cfg.OnLoadRetire = func(ev ooo.LoadEvent) { evs = append(evs, ev) }
-		ooo.NewEngine(cfg, trace.New(traces[ti])).Run(o.Uops)
+		ooo.NewEngine(cfg, trace.Replay(traces[ti])).Run(o.Uops)
 		return evs
 	})
 	for _, evs := range streams {

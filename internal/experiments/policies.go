@@ -59,7 +59,7 @@ func BankPolicies(o Options) []BankPolicyRow {
 			combs[i] = mk(c.policy, c.threshold, c.minConf)
 		}
 		tallies := make([]bankpred.Stats, len(configs))
-		g := trace.New(profiles[ti])
+		g := trace.Replay(profiles[ti])
 		total := warmup + o.Uops
 		for i := 0; i < total; i++ {
 			u := g.Next()

@@ -131,6 +131,14 @@ type Config struct {
 	// cannot be described canonically).
 	NewPolicy func(PolicyDeps) SpeculationPolicy
 
+	// NaiveSchedule selects the retained reference scheduler: the original
+	// per-cycle full-window readiness walk, without the event-driven wakeup
+	// lists and idle-cycle fast-forward of ready.go. It produces identical
+	// results and exists for verification and debugging (the differential
+	// property test runs both and compares Stats); leave it false for
+	// performance.
+	NaiveSchedule bool
+
 	// Banking configures the multi-banked L1 extension; BankPolicy selects
 	// how the scheduler uses it (see bank.go). Zero value disables banking.
 	Banking cache.Banking

@@ -10,7 +10,8 @@ import (
 // on the shared machine state below:
 //
 //	frontend.go  fetch + rename (branch stall, producer tracking, MOB entry)
-//	schedule.go  scheduling window walk, port allocation, replay debt
+//	schedule.go  dispatch walk, port allocation, replay debt
+//	ready.go     event-driven core: wakeup lists, ready set, fast-forward
 //	memory.go    MOB queries, load classification, collision resolution
 //	execute.go   load execution: cache access, latency speculation, penalties
 //	retire.go    in-order retirement, stat finalization, predictor training
@@ -56,6 +57,18 @@ type entry struct {
 
 	// blockingBranch marks the mispredicted branch the front end stalls on.
 	blockingBranch bool
+
+	// Event-driven scheduling state (see ready.go). waiters lists the rob
+	// indexes of register consumers to wake when this entry completes; its
+	// backing array is retained across slot reuse. nwaiting counts this
+	// entry's producers whose completion time is still unknown; readyAt
+	// accumulates the latest known producer completion and is final once
+	// nwaiting reaches 0. age orders the ready set by rename order (robust
+	// against sources that do not populate Seq).
+	waiters  []int32
+	nwaiting int8
+	readyAt  int64
+	age      int64
 
 	// Load-only state.
 	olderStores int64 // StoreID of the youngest store older than this load
@@ -118,6 +131,16 @@ type Engine struct {
 	// rsCount tracks scheduling-window occupancy incrementally.
 	rsCount int
 
+	// Event-driven scheduling core (ready.go): readyList holds the rob
+	// indexes of window entries whose operands are ready, in age order;
+	// wakeQ holds entries whose operands complete at a known future cycle.
+	// renameAge is the monotone counter behind entry.age. naive selects the
+	// retained full-walk reference scheduler (Config.NaiveSchedule).
+	readyList []int32
+	wakeQ     wakeHeap
+	renameAge int64
+	naive     bool
+
 	now int64
 
 	regProd [uop.MaxArchRegs]int32
@@ -175,6 +198,7 @@ func NewEngine(cfg Config, src Source) *Engine {
 		missq:    cache.NewMissQueue(16),
 		rob:      make([]entry, cfg.RenamePool),
 		mobFirst: 1,
+		naive:    cfg.NaiveSchedule,
 	}
 	for i := range e.regProd {
 		e.regProd[i] = -1
@@ -226,6 +250,12 @@ func (e *Engine) runUops(n int) {
 	target := e.stats.Uops + uint64(n)
 	guard := e.now + int64(n)*1000 + 1_000_000 // fail loudly on livelock
 	for e.stats.Uops < target {
+		if !e.naive {
+			// Jump over cycles where the machine provably cannot act,
+			// attributing them in bulk (see ready.go). Sits before cycle()
+			// so a measurement boundary never lands inside a skipped span.
+			e.fastForward()
+		}
 		e.cycle()
 		if e.now > guard {
 			panic("ooo: livelock — no retirement progress")

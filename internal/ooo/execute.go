@@ -147,4 +147,7 @@ func (e *Engine) executeLoad(idx int32, en *entry) {
 			}
 		}
 	}
+	// doneCycle is final only after the forwarding adjustments above; the
+	// collided path returns early and wakes from finishCollidedLoad instead.
+	e.wakeDependents(en)
 }

@@ -34,7 +34,10 @@ func (e *Engine) rename(u uop.UOp) {
 	idx := e.robIdx(e.count)
 	e.count++
 	en := &e.rob[idx]
-	*en = entry{u: u, valid: true, inRS: true, src1Prod: -1, src2Prod: -1}
+	// Reuse the slot's wakeup-list backing array (always drained by now:
+	// dependents are woken before an entry can retire).
+	waiters := en.waiters[:0]
+	*en = entry{u: u, valid: true, inRS: true, src1Prod: -1, src2Prod: -1, waiters: waiters}
 	e.rsCount++
 
 	en.src1Prod, en.src1Seq = e.lookupProducer(u.Src1)
@@ -64,6 +67,8 @@ func (e *Engine) rename(u uop.UOp) {
 		en.olderStores = e.lastStoreID()
 		en.pred = e.policy.PredictCollision(u.IP)
 	}
+
+	e.linkDeps(int32(idx), en)
 }
 
 // lookupProducer resolves a source register to its in-flight producer.

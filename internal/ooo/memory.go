@@ -152,6 +152,7 @@ func (e *Engine) finishCollidedLoad(en *entry, stdDone int64) {
 	}
 	e.replayMemDebt += rounds
 	e.replayIntDebt += rounds * e.cfg.CollisionReplayUops
+	e.wakeDependents(en)
 }
 
 // resolveCollisions completes loads whose colliding STD has now executed.

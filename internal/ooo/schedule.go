@@ -2,31 +2,82 @@ package ooo
 
 import "loadsched/internal/uop"
 
-// Schedule/dispatch stage: walks the scheduling window oldest-first each
-// cycle, allocates execution ports, pays down replay debt, and applies the
-// speculation policy's ordering and bank-steering decisions to ready loads.
-// Recovery bubbles (collision repair, late-discovered misses) gate the whole
-// stage. The oldest-first walk order makes the first scheduler hold noted
-// per cycle the oldest one, which is what feeds the CPI stack.
+// Schedule/dispatch stage: offers operand-ready window entries to the
+// execution ports oldest-first each cycle, pays down replay debt, and
+// applies the speculation policy's ordering and bank-steering decisions to
+// ready loads. Readiness is tracked event-driven (ready.go): completions
+// wake their register consumers into an age-ordered ready list, so the walk
+// below touches only ready entries instead of re-scanning the whole window.
+// Recovery bubbles (collision repair, late-discovered misses) gate the
+// whole stage. The age (= rename) order makes the first scheduler hold
+// noted per cycle the oldest one, which is what feeds the CPI stack.
 
 func (e *Engine) dispatch() {
-	if len(e.missDetections) > 0 {
-		kept := e.missDetections[:0]
-		for _, d := range e.missDetections {
-			if d <= e.now {
-				if until := e.now + int64(e.cfg.MissRecoveryBubble); until > e.recoveryStallUntil {
-					e.recoveryStallUntil = until
-					e.recoveryCause = stallMissReplay
-				}
-				continue
-			}
-			kept = append(kept, d)
-		}
-		e.missDetections = kept
-	}
+	e.processMissDetections()
 	if e.now < e.recoveryStallUntil {
 		return // replay/collision recovery in progress: no dispatch this cycle
 	}
+	if e.naive {
+		e.dispatchNaive()
+		return
+	}
+	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
+	e.drainReplayDebt()
+	e.policy.BeginCycle()
+	e.drainWakeQ()
+	dispatched := false
+	// Indexed loop: a zero-latency completion inside the walk may insert a
+	// same-cycle consumer, which (being younger) always lands after i.
+	for i := 0; i < len(e.readyList); i++ {
+		idx := e.readyList[i]
+		en := &e.rob[idx]
+		e.dispatchEntry(idx, en)
+		if en.dispatched {
+			dispatched = true
+		}
+	}
+	if dispatched {
+		kept := e.readyList[:0]
+		for _, idx := range e.readyList {
+			if !e.rob[idx].dispatched {
+				kept = append(kept, idx) // still held: re-offer next cycle
+			}
+		}
+		e.readyList = kept
+	}
+}
+
+// processMissDetections arms the miss-recovery bubble for every AM-PH miss
+// whose hit indication has come due. It runs even while dispatch is
+// recovery-stalled (a due detection extends the stall).
+func (e *Engine) processMissDetections() {
+	if len(e.missDetections) == 0 {
+		return
+	}
+	kept := e.missDetections[:0]
+	for _, d := range e.missDetections {
+		if d <= e.now {
+			if until := e.now + int64(e.cfg.MissRecoveryBubble); until > e.recoveryStallUntil {
+				e.recoveryStallUntil = until
+				e.recoveryCause = stallMissReplay
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if len(kept) == 0 {
+		// Release the backing array: the retained capacity would otherwise
+		// live (and keep the slice header pinned to it) for the whole run.
+		e.missDetections = nil
+	} else {
+		e.missDetections = kept
+	}
+}
+
+// dispatchNaive is the retained reference scheduler (Config.NaiveSchedule):
+// the original full-window walk that polls sourcesReady on every entry. The
+// differential property test pins the event-driven core against it.
+func (e *Engine) dispatchNaive() {
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
 	e.drainReplayDebt()
 	e.policy.BeginCycle()
@@ -39,48 +90,55 @@ func (e *Engine) dispatch() {
 		if !e.sourcesReady(en) {
 			continue
 		}
-		switch en.u.Kind {
-		case uop.Load:
-			e.maybeDispatchLoad(int32(idx), en)
-		case uop.STA:
-			if e.memUsed < e.cfg.MemUnits {
-				e.memUsed++
-				e.dispatchSTA(en)
-			} else {
-				e.noteSchedHold(stallPort)
+		e.dispatchEntry(int32(idx), en)
+	}
+}
+
+// dispatchEntry offers one operand-ready entry to its execution port. Both
+// schedulers funnel through here, so port allocation, hold accounting and
+// completion are identical by construction.
+func (e *Engine) dispatchEntry(idx int32, en *entry) {
+	switch en.u.Kind {
+	case uop.Load:
+		e.maybeDispatchLoad(idx, en)
+	case uop.STA:
+		if e.memUsed < e.cfg.MemUnits {
+			e.memUsed++
+			e.dispatchSTA(en)
+		} else {
+			e.noteSchedHold(stallPort)
+		}
+	case uop.STD:
+		if e.stdUsed < e.cfg.STDPorts {
+			e.stdUsed++
+			e.dispatchSTD(en)
+		} else {
+			e.noteSchedHold(stallPort)
+		}
+	case uop.FPU:
+		if e.fpUsed < e.cfg.FPUnits {
+			e.fpUsed++
+			e.complete(en, e.cfg.latencyOf(uop.FPU))
+		} else {
+			e.noteSchedHold(stallPort)
+		}
+	case uop.Complex:
+		if e.cplxUsed < e.cfg.ComplexUnits {
+			e.cplxUsed++
+			e.complete(en, e.cfg.latencyOf(uop.Complex))
+		} else {
+			e.noteSchedHold(stallPort)
+		}
+	default: // IntALU, Branch, Nop
+		if e.intUsed < e.cfg.IntUnits {
+			e.intUsed++
+			e.complete(en, e.cfg.latencyOf(en.u.Kind))
+			if en.blockingBranch {
+				e.awaitingBranch = false
+				e.resumeAt = en.doneCycle + int64(e.cfg.FrontEndRefill)
 			}
-		case uop.STD:
-			if e.stdUsed < e.cfg.STDPorts {
-				e.stdUsed++
-				e.dispatchSTD(en)
-			} else {
-				e.noteSchedHold(stallPort)
-			}
-		case uop.FPU:
-			if e.fpUsed < e.cfg.FPUnits {
-				e.fpUsed++
-				e.complete(en, e.cfg.latencyOf(uop.FPU))
-			} else {
-				e.noteSchedHold(stallPort)
-			}
-		case uop.Complex:
-			if e.cplxUsed < e.cfg.ComplexUnits {
-				e.cplxUsed++
-				e.complete(en, e.cfg.latencyOf(uop.Complex))
-			} else {
-				e.noteSchedHold(stallPort)
-			}
-		default: // IntALU, Branch, Nop
-			if e.intUsed < e.cfg.IntUnits {
-				e.intUsed++
-				e.complete(en, e.cfg.latencyOf(en.u.Kind))
-				if en.blockingBranch {
-					e.awaitingBranch = false
-					e.resumeAt = en.doneCycle + int64(e.cfg.FrontEndRefill)
-				}
-			} else {
-				e.noteSchedHold(stallPort)
-			}
+		} else {
+			e.noteSchedHold(stallPort)
 		}
 	}
 }
@@ -157,13 +215,15 @@ func (e *Engine) producerReady(idx int32, seq int64) bool {
 	return p.done && p.doneCycle <= e.now
 }
 
-// complete marks a fixed-latency uop dispatched with its completion time.
+// complete marks a fixed-latency uop dispatched with its completion time,
+// which is final — so its register consumers can be woken immediately.
 func (e *Engine) complete(en *entry, lat int) {
 	en.dispatched = true
 	en.inRS = false
 	e.rsCount--
 	en.done = true
 	en.doneCycle = e.now + int64(lat)
+	e.wakeDependents(en)
 }
 
 func (e *Engine) dispatchSTA(en *entry) {

@@ -39,11 +39,13 @@ type Job struct {
 	Uops, Warmup int
 }
 
-// simulate runs the job's simulation from scratch.
+// simulate runs the job's simulation from scratch. The uop stream comes
+// from the process-wide shared recording (trace.Replay), so concurrent jobs
+// over one profile generate it once instead of once each.
 func (j Job) simulate() ooo.Stats {
 	cfg := j.Build()
 	cfg.WarmupUops = j.Warmup
-	return ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops)
+	return ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
 }
 
 // Pool is a bounded-concurrency simulation executor. The zero value is not
@@ -138,7 +140,7 @@ func (p *Pool) Do(j Job) ooo.Stats {
 	cfg.WarmupUops = j.Warmup
 	run := func() ooo.Stats {
 		start := time.Now()
-		st := ooo.NewEngine(cfg, trace.New(j.Profile)).Run(j.Uops)
+		st := ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
 		p.m.simNanos.Add(time.Since(start).Nanoseconds())
 		p.m.simulated.Add(1)
 		return st

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"loadsched/internal/uop"
+)
+
+// Shared trace materialization. Every experiment sweep replays the same
+// deterministic uop stream through many machine configurations, and the
+// naive approach pays one full generator run (program build, RNG walk,
+// branch-predictor model) per configuration. Materialize records each
+// profile's stream once per process into an append-only buffer; Replay
+// hands out lightweight cursors over it, so N configs per figure pay one
+// generation instead of N.
+//
+// Concurrency model: the buffer only ever grows, and grown prefixes are
+// immutable. Writers extend it under Recording.mu and publish the new
+// length through an atomic snapshot; readers iterate their own snapshot
+// lock-free and refresh it (or trigger growth) only when they run off the
+// end. Appending in place beyond a published snapshot's length is safe
+// because no reader indexes past its snapshot.
+
+// maxSharedUops bounds the per-profile recording (a variable so tests can
+// shrink it). At the default 1<<20 a recording tops out around 60 MB; a
+// cursor that runs past the cap falls back to a private generator — paying
+// one status-quo generation for that outlier run instead of growing the
+// shared buffer without bound.
+var maxSharedUops = 1 << 20
+
+// minRecordingChunk is the smallest growth step, so cursors racing up a
+// cold buffer don't take the lock per uop.
+const minRecordingChunk = 1 << 12
+
+var (
+	recordingsMu sync.Mutex
+	recordings   = map[Profile]*Recording{}
+)
+
+// Recording is one profile's process-wide recorded uop stream.
+type Recording struct {
+	prof Profile
+
+	mu   sync.Mutex
+	gen  *Generator
+	full []uop.UOp    // generated so far; guarded by mu
+	buf  atomic.Value // []uop.UOp: immutable published prefix of full
+}
+
+// Materialize returns the process-wide recording for p, creating it (empty)
+// on first use. Equal profiles — after defaulting, matching the runner's
+// memo-cache key semantics — share one recording.
+func Materialize(p Profile) *Recording {
+	p = p.withDefaults()
+	recordingsMu.Lock()
+	defer recordingsMu.Unlock()
+	if r, ok := recordings[p]; ok {
+		return r
+	}
+	r := &Recording{prof: p, gen: New(p)}
+	r.buf.Store([]uop.UOp(nil))
+	recordings[p] = r
+	return r
+}
+
+// atLeast grows the recording to at least n uops (n <= maxSharedUops) and
+// returns the current buffer.
+func (r *Recording) atLeast(n int) []uop.UOp {
+	if buf := r.buf.Load().([]uop.UOp); len(buf) >= n {
+		return buf
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.full
+	if len(cur) < n {
+		// Grow in doubling chunks so the lock and the atomic publish are
+		// amortized over many uops.
+		target := n
+		if t := 2 * len(cur); t > target {
+			target = t
+		}
+		if target < minRecordingChunk {
+			target = minRecordingChunk
+		}
+		if target > maxSharedUops {
+			target = maxSharedUops
+		}
+		if target < n {
+			target = n
+		}
+		for len(cur) < target {
+			cur = append(cur, r.gen.Next())
+		}
+		r.full = cur
+		r.buf.Store(cur[:len(cur):len(cur)])
+	}
+	return r.full
+}
+
+// Len reports how many uops have been recorded so far.
+func (r *Recording) Len() int { return len(r.buf.Load().([]uop.UOp)) }
+
+// Cursor replays a recording from the start. It implements the engine's
+// Source. Cursors are cheap (no generation state) and independent; they are
+// not safe for concurrent use by multiple goroutines, but any number of
+// cursors may run concurrently over one recording.
+type Cursor struct {
+	rec *Recording
+	buf []uop.UOp
+	pos int
+	// tail streams the portion beyond maxSharedUops from a private
+	// generator (nil until the cap is crossed).
+	tail *Generator
+}
+
+// Replay returns a cursor over p's shared recording.
+func Replay(p Profile) *Cursor {
+	r := Materialize(p)
+	return &Cursor{rec: r, buf: r.buf.Load().([]uop.UOp)}
+}
+
+// Next emits the next uop of the recorded stream; like Generator.Next it
+// never ends.
+func (c *Cursor) Next() uop.UOp {
+	if c.pos < len(c.buf) {
+		u := c.buf[c.pos]
+		c.pos++
+		return u
+	}
+	return c.nextSlow()
+}
+
+func (c *Cursor) nextSlow() uop.UOp {
+	if c.tail != nil {
+		return c.tail.Next()
+	}
+	if c.pos >= maxSharedUops {
+		// Past the sharing cap: regenerate privately and skip the shared
+		// prefix. Costs one generator run — exactly the pre-sharing status
+		// quo — and only for runs long enough to blow the cap.
+		g := New(c.rec.prof)
+		for i := 0; i < c.pos; i++ {
+			g.Next()
+		}
+		c.tail = g
+		return g.Next()
+	}
+	c.buf = c.rec.atLeast(c.pos + 1)
+	u := c.buf[c.pos]
+	c.pos++
+	return u
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReplayMatchesGenerator pins the shared recording to the generator: a
+// cursor must emit the exact stream a fresh generator would.
+func TestReplayMatchesGenerator(t *testing.T) {
+	p := Profile{Name: "replay-eq", Seed: 42}
+	g := New(p)
+	c := Replay(p)
+	for i := 0; i < 20000; i++ {
+		want, got := g.Next(), c.Next()
+		if got != want {
+			t.Fatalf("uop %d: replay %+v, generator %+v", i, got, want)
+		}
+	}
+}
+
+// TestReplayCursorsIndependent checks that cursors do not share position:
+// interleaved readers each see the stream from the start.
+func TestReplayCursorsIndependent(t *testing.T) {
+	p := Profile{Name: "replay-indep", Seed: 7}
+	a, b := Replay(p), Replay(p)
+	// Advance a past b, then check b still replays from its own position.
+	for i := 0; i < 500; i++ {
+		a.Next()
+	}
+	g := New(p)
+	for i := 0; i < 1000; i++ {
+		want := g.Next()
+		if got := b.Next(); got != want {
+			t.Fatalf("uop %d: cursor b %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestReplaySharesRecording checks the point of the exercise: two cursors
+// over one profile share a single recording, generated once.
+func TestReplaySharesRecording(t *testing.T) {
+	p := Profile{Name: "replay-shared", Seed: 11}
+	a := Replay(p)
+	for i := 0; i < 3000; i++ {
+		a.Next()
+	}
+	r := Materialize(p)
+	n := r.Len()
+	if n < 3000 {
+		t.Fatalf("recording holds %d uops after 3000 reads", n)
+	}
+	b := Replay(p)
+	for i := 0; i < 3000; i++ {
+		b.Next()
+	}
+	if got := r.Len(); got != n {
+		t.Fatalf("second cursor grew the recording: %d -> %d uops", n, got)
+	}
+}
+
+// TestReplayBeyondCap checks the fallback: a cursor that outruns
+// maxSharedUops switches to a private generator with no seam in the stream,
+// and the shared recording stops growing at the cap.
+func TestReplayBeyondCap(t *testing.T) {
+	defer func(old int) { maxSharedUops = old }(maxSharedUops)
+	maxSharedUops = 1 << 12
+
+	p := Profile{Name: "replay-cap", Seed: 99}
+	g := New(p)
+	c := Replay(p)
+	total := maxSharedUops * 3
+	for i := 0; i < total; i++ {
+		want, got := g.Next(), c.Next()
+		if got != want {
+			t.Fatalf("uop %d (cap %d): replay %+v, generator %+v", i, maxSharedUops, got, want)
+		}
+	}
+	if n := Materialize(p).Len(); n > maxSharedUops {
+		t.Fatalf("recording grew to %d uops past the cap %d", n, maxSharedUops)
+	}
+}
+
+// TestReplayConcurrent hammers one recording from many goroutines; run
+// under -race this checks the lock-free snapshot protocol.
+func TestReplayConcurrent(t *testing.T) {
+	p := Profile{Name: "replay-conc", Seed: 3}
+	want := Collect(p, 8000)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := Replay(p)
+			for i, u := range want {
+				if got := c.Next(); got != u {
+					errs <- "stream diverged at uop " + string(rune('0'+i%10))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
