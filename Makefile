@@ -12,7 +12,12 @@ BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_results.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism cover clean
+# profile: which figure the `make profile` target captures, and where the
+# pprof data lands.
+PROFILE_FIG ?= 8
+PROFILE_DIR ?= /tmp
+
+.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism cover profile clean
 
 all: build
 
@@ -66,6 +71,19 @@ determinism: build
 
 verify: build fmt-check vet race determinism
 	@echo "verify: OK"
+
+# profile: capture cpu and allocation pprof data for one figure run
+# (PROFILE_FIG, default Figure 8 — the heaviest sweep) through the CLI's
+# -cpuprofile/-memprofile flags. Inspect with
+# `go tool pprof /tmp/loadsched-fig8-cpu.pprof` (top, list, web) — the mem
+# profile is what verifies the steady state allocates nothing per simulation.
+profile: build
+	$(GO) build -o /tmp/loadsched-profile ./cmd/loadsched
+	/tmp/loadsched-profile figure $(PROFILE_FIG) -quick \
+		-cpuprofile $(PROFILE_DIR)/loadsched-fig$(PROFILE_FIG)-cpu.pprof \
+		-memprofile $(PROFILE_DIR)/loadsched-fig$(PROFILE_FIG)-mem.pprof \
+		> /dev/null
+	@echo "profile: wrote $(PROFILE_DIR)/loadsched-fig$(PROFILE_FIG)-{cpu,mem}.pprof"
 
 # cover: run the test suite with coverage; the go tool prints the
 # per-package percentages and the last line below is the repo total. The

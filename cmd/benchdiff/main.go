@@ -30,6 +30,7 @@ type Meta struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Commit     string `json:"commit"`
+	Dirty      bool   `json:"dirty"`
 }
 
 type Snapshot struct {
@@ -54,21 +55,74 @@ func main() {
 	oldSnap, newSnap := load(flag.Arg(0)), load(flag.Arg(1))
 	noteMetaDrift(oldSnap, newSnap)
 
+	rep := compare(oldSnap, newSnap, *threshold)
+	fmt.Printf("%-40s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range rep.Rows {
+		mark := ""
+		if r.Regressed {
+			mark = " REGRESSED"
+		}
+		fmt.Printf("%-40s %-12s %14.1f %14.1f %+8.1f%%%s\n",
+			r.Name, r.Unit, r.Old, r.New, r.Delta, mark)
+	}
+	for _, name := range rep.Added {
+		fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "(absent)", "-", "new")
+	}
+	for _, name := range rep.Removed {
+		fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "-", "(absent)", "gone")
+	}
+	if len(rep.Added) > 0 || len(rep.Removed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: note: %d benchmark(s) only in new, %d only in old — not gated\n",
+			len(rep.Added), len(rep.Removed))
+	}
+	if rep.AnyRegressed() {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.1f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+// Row is one gated metric comparison.
+type Row struct {
+	Name, Unit string
+	Old, New   float64
+	Delta      float64
+	Regressed  bool
+}
+
+// Report is the structured outcome of comparing two snapshots: the metric
+// rows for benchmarks present in both, plus the names present in only one
+// side (Added = only in new, Removed = only in old), sorted. One-sided
+// benchmarks are reported, never gated — there is nothing to compare.
+type Report struct {
+	Rows           []Row
+	Added, Removed []string
+}
+
+// AnyRegressed reports whether any row crossed the threshold.
+func (r Report) AnyRegressed() bool {
+	for _, row := range r.Rows {
+		if row.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// compare diffs the gated units of every benchmark common to both snapshots
+// and collects the one-sided names.
+func compare(oldSnap, newSnap Snapshot, threshold float64) Report {
 	oldBy := indexByName(oldSnap)
 	newBy := indexByName(newSnap)
-	names := unionNames(oldBy, newBy)
-
-	fmt.Printf("%-40s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
-	regressed := false
-	for _, name := range names {
+	var rep Report
+	for _, name := range unionNames(oldBy, newBy) {
 		o, inOld := oldBy[name]
 		n, inNew := newBy[name]
 		switch {
 		case !inOld:
-			fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "(absent)", "-", "new")
+			rep.Added = append(rep.Added, name)
 			continue
 		case !inNew:
-			fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "-", "(absent)", "gone")
+			rep.Removed = append(rep.Removed, name)
 			continue
 		}
 		for _, unit := range comparedUnits {
@@ -78,18 +132,13 @@ func main() {
 				continue // e.g. old run without -benchmem
 			}
 			pct := delta(ov, nv)
-			mark := ""
-			if pct > *threshold {
-				mark = " REGRESSED"
-				regressed = true
-			}
-			fmt.Printf("%-40s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, ov, nv, pct, mark)
+			rep.Rows = append(rep.Rows, Row{
+				Name: name, Unit: unit, Old: ov, New: nv,
+				Delta: pct, Regressed: pct > threshold,
+			})
 		}
 	}
-	if regressed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.1f%% threshold\n", *threshold)
-		os.Exit(1)
-	}
+	return rep
 }
 
 // delta returns the percent change old -> new (positive = regression).
@@ -131,6 +180,14 @@ func noteMetaDrift(a, b Snapshot) {
 	if a.Meta.GOMAXPROCS != 0 && b.Meta.GOMAXPROCS != 0 && a.Meta.GOMAXPROCS != b.Meta.GOMAXPROCS {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: GOMAXPROCS differ (%d vs %d)\n",
 			a.Meta.GOMAXPROCS, b.Meta.GOMAXPROCS)
+	}
+	if a.Meta.Dirty {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: old snapshot was taken on a dirty working tree (commit %s)\n",
+			a.Meta.Commit)
+	}
+	if b.Meta.Dirty {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: new snapshot was taken on a dirty working tree (commit %s)\n",
+			b.Meta.Commit)
 	}
 }
 

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestDelta(t *testing.T) {
 	for _, tc := range []struct {
@@ -16,6 +19,54 @@ func TestDelta(t *testing.T) {
 		if got := delta(tc.old, tc.new); got != tc.want {
 			t.Errorf("delta(%v, %v) = %v, want %v", tc.old, tc.new, got, tc.want)
 		}
+	}
+}
+
+func TestCompareOneSidedBenchmarks(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "Fig5", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 50}},
+		{Name: "Gone", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "AlsoGone", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "Fig5", Metrics: map[string]float64{"ns/op": 105, "allocs/op": 20}},
+		{Name: "Fresh", Metrics: map[string]float64{"ns/op": 999999}},
+	}}
+	rep := compare(oldSnap, newSnap, 10)
+
+	if want := []string{"Fresh"}; !reflect.DeepEqual(rep.Added, want) {
+		t.Errorf("Added = %v, want %v", rep.Added, want)
+	}
+	if want := []string{"AlsoGone", "Gone"}; !reflect.DeepEqual(rep.Removed, want) {
+		t.Errorf("Removed = %v, want %v", rep.Removed, want)
+	}
+	// One-sided benchmarks must never gate, however large their metrics.
+	if rep.AnyRegressed() {
+		t.Error("one-sided benchmarks regressed the gate")
+	}
+	// Only the common benchmark produces rows, one per shared gated unit.
+	if len(rep.Rows) != 2 {
+		t.Fatalf("Rows = %+v, want 2 rows for Fig5", rep.Rows)
+	}
+	for _, r := range rep.Rows {
+		if r.Name != "Fig5" {
+			t.Errorf("row for %q, want only Fig5 rows", r.Name)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "Fig8", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "Fig8", Metrics: map[string]float64{"ns/op": 150}},
+	}}
+	if rep := compare(oldSnap, newSnap, 10); !rep.AnyRegressed() {
+		t.Error("50%% ns/op growth not flagged at 10%% threshold")
+	}
+	if rep := compare(oldSnap, newSnap, 60); rep.AnyRegressed() {
+		t.Error("50%% ns/op growth flagged at 60%% threshold")
 	}
 }
 

@@ -45,6 +45,9 @@ type Meta struct {
 	// Commit is the git HEAD hash at snapshot time ("unknown" outside a
 	// checkout).
 	Commit string `json:"commit"`
+	// Dirty reports uncommitted working-tree changes at snapshot time, so a
+	// snapshot whose numbers do not belong to Commit is visibly suspect.
+	Dirty bool `json:"dirty"`
 }
 
 // Snapshot is the emitted envelope.
@@ -69,9 +72,24 @@ func captureMeta() Meta {
 	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
 		if c := strings.TrimSpace(string(out)); c != "" {
 			m.Commit = c
+			if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+				m.Dirty = porcelainDirty(string(out))
+			}
 		}
 	}
 	return m
+}
+
+// porcelainDirty interprets `git status --porcelain` output: any non-blank
+// line is a tracked modification or untracked file, i.e. the working tree no
+// longer matches the recorded commit.
+func porcelainDirty(out string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.TrimSpace(line) != "" {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {

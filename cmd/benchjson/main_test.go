@@ -47,6 +47,24 @@ func TestCaptureMeta(t *testing.T) {
 	}
 }
 
+func TestPorcelainDirty(t *testing.T) {
+	for _, tc := range []struct {
+		out  string
+		want bool
+	}{
+		{"", false},
+		{"\n", false},
+		{"   \n  \n", false},
+		{" M internal/ooo/engine.go\n", true},
+		{"?? scratch.txt\n", true},
+		{"\n M a.go\n", true},
+	} {
+		if got := porcelainDirty(tc.out); got != tc.want {
+			t.Errorf("porcelainDirty(%q) = %v, want %v", tc.out, got, tc.want)
+		}
+	}
+}
+
 func TestParseLineRejectsNonBenchmarks(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

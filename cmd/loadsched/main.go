@@ -212,6 +212,7 @@ func runnerCounters(pool *runner.Pool) results.RunnerCounters {
 	return results.RunnerCounters{
 		Jobs: c.Jobs, Simulated: c.Simulated, MemoHits: c.MemoHits,
 		Coalesced: c.Coalesced, Uncached: c.Uncached, MapTasks: c.MapTasks,
+		EngineBuilds: c.EngineBuilds, EngineReuses: c.EngineReuses,
 		SimMillis:    float64(c.SimTime) / float64(time.Millisecond),
 		CacheEntries: pool.CacheLen(),
 	}

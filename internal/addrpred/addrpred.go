@@ -34,11 +34,15 @@ type Prediction struct {
 	Hit bool
 }
 
-// Predictor is a set-associative last-address + stride predictor.
+// Predictor is a set-associative last-address + stride predictor. The ways
+// of all sets live in one flat backing slice (set s occupies
+// entries[s*ways : (s+1)*ways]) so building a predictor is a single
+// allocation and resetting it never regrows the heap.
 type Predictor struct {
-	sets [][]entry
-	ways int
-	tick uint64
+	entries []entry
+	numSets int
+	ways    int
+	tick    uint64
 	// ConfThreshold is the confidence level at which predictions are
 	// reported Confident (counter value, 0..3).
 	ConfThreshold uint8
@@ -50,23 +54,27 @@ func New(entries, ways int) *Predictor {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
 		panic("addrpred: bad geometry")
 	}
-	p := &Predictor{ways: ways, ConfThreshold: 2}
-	p.sets = make([][]entry, entries/ways)
-	for i := range p.sets {
-		p.sets[i] = make([]entry, ways)
+	return &Predictor{
+		entries: make([]entry, entries), numSets: entries / ways,
+		ways: ways, ConfThreshold: 2,
 	}
-	return p
 }
 
 func (p *Predictor) index(ip uint64) (uint64, uint64) {
 	v := ip >> 2
-	return v % uint64(len(p.sets)), v / uint64(len(p.sets))
+	return v % uint64(p.numSets), v / uint64(p.numSets)
+}
+
+// set returns the ways of one set as a sub-slice of the flat backing array.
+func (p *Predictor) set(s uint64) []entry {
+	return p.entries[int(s)*p.ways : int(s+1)*p.ways]
 }
 
 func (p *Predictor) find(ip uint64) *entry {
 	set, tag := p.index(ip)
-	for i := range p.sets[set] {
-		e := &p.sets[set][i]
+	ways := p.set(set)
+	for i := range ways {
+		e := &ways[i]
 		if e.valid && e.tag == tag {
 			return e
 		}
@@ -92,18 +100,19 @@ func (p *Predictor) Update(ip, addr uint64) {
 	e := p.find(ip)
 	if e == nil {
 		set, tag := p.index(ip)
+		ways := p.set(set)
 		victim := 0
-		for i := range p.sets[set] {
-			if !p.sets[set][i].valid {
+		for i := range ways {
+			if !ways[i].valid {
 				victim = i
 				break
 			}
-			if p.sets[set][i].lru < p.sets[set][victim].lru {
+			if ways[i].lru < ways[victim].lru {
 				victim = i
 			}
 		}
 		p.tick++
-		p.sets[set][victim] = entry{
+		ways[victim] = entry{
 			tag: tag, valid: true, lastAddr: addr,
 			conf: predict.NewSatCounter(2), lru: p.tick,
 		}
@@ -124,12 +133,8 @@ func (p *Predictor) Update(ip, addr uint64) {
 	e.lastAddr = addr
 }
 
-// Reset clears the table.
+// Reset clears the table in place, LRU clock included.
 func (p *Predictor) Reset() {
-	for s := range p.sets {
-		for w := range p.sets[s] {
-			p.sets[s][w] = entry{}
-		}
-	}
+	clear(p.entries)
 	p.tick = 0
 }

@@ -45,10 +45,13 @@ type line struct {
 }
 
 // Cache is a set-associative cache with true-LRU replacement. It tracks
-// presence only (no data), which is all a timing simulator needs.
+// presence only (no data), which is all a timing simulator needs. The ways
+// of all sets live in one flat backing slice (set s occupies
+// lines[s*Ways : (s+1)*Ways]) so building a cache is a single allocation and
+// resetting it never regrows the heap.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line
 	lineBits uint
 	setMask  uint64
 	tick     uint64
@@ -66,10 +69,7 @@ func New(cfg Config) *Cache {
 	c := &Cache{cfg: cfg}
 	c.lineBits = uint(log2(cfg.LineBytes))
 	c.setMask = uint64(cfg.Sets() - 1)
-	c.sets = make([][]line, cfg.Sets())
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	c.lines = make([]line, cfg.Sets()*cfg.Ways)
 	return c
 }
 
@@ -89,12 +89,19 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	return lineAddr & c.setMask, lineAddr >> uint(log2(c.cfg.Sets()))
 }
 
+// set returns the ways of one set as a sub-slice of the flat backing array.
+func (c *Cache) set(s uint64) []line {
+	w := c.cfg.Ways
+	return c.lines[int(s)*w : int(s+1)*w]
+}
+
 // Contains reports whether addr's line is present, without touching LRU or
 // statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if l := &c.sets[set][i]; l.valid && l.tag == tag {
+	ways := c.set(set)
+	for i := range ways {
+		if l := &ways[i]; l.valid && l.tag == tag {
 			return true
 		}
 	}
@@ -106,7 +113,7 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) Access(addr uint64) bool {
 	c.tick++
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.set(set)
 	victim := 0
 	for i := range ways {
 		l := &ways[i]
@@ -138,8 +145,9 @@ func (c *Cache) Touch(addr uint64) {
 // Invalidate removes addr's line if present.
 func (c *Cache) Invalidate(addr uint64) {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if l := &c.sets[set][i]; l.valid && l.tag == tag {
+	ways := c.set(set)
+	for i := range ways {
+		if l := &ways[i]; l.valid && l.tag == tag {
 			l.valid = false
 		}
 	}
@@ -147,15 +155,20 @@ func (c *Cache) Invalidate(addr uint64) {
 
 // Flush invalidates every line.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-	}
+	clear(c.lines)
 }
 
 // ResetStats zeroes the hit/miss counters.
 func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }
+
+// Reset restores construction state in place — contents, LRU clock and
+// statistics — without reallocating the line array, so one cache can back
+// many simulation runs.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.tick = 0
+	c.ResetStats()
+}
 
 // MissRate returns Misses/(Hits+Misses), or 0 with no accesses.
 func (c *Cache) MissRate() float64 {

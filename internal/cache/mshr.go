@@ -50,8 +50,11 @@ func (q *MissQueue) RecordMiss(addr uint64, readyAt int64) {
 		return // secondary miss merges into the existing entry
 	}
 	if len(q.order) >= q.capacity {
+		// Shift in place rather than re-slicing: advancing the slice start
+		// would creep along the backing array and force append to reallocate.
 		oldest := q.order[0]
-		q.order = q.order[1:]
+		copy(q.order, q.order[1:])
+		q.order = q.order[:len(q.order)-1]
 		q.retire(oldest, q.entries[oldest])
 		delete(q.entries, oldest)
 	}
@@ -108,9 +111,11 @@ func (q *MissQueue) RecentlyServiced(addr uint64, now int64) bool {
 // Len returns the number of in-flight misses.
 func (q *MissQueue) Len() int { return len(q.order) }
 
-// Reset clears all state.
+// Reset clears all state in place — the entry map, FIFO and serviced ring
+// keep their storage, so a reset queue is reusable without regrowing the
+// heap.
 func (q *MissQueue) Reset() {
-	q.entries = make(map[uint64]int64, q.capacity)
+	clear(q.entries)
 	q.order = q.order[:0]
 	for i := range q.serviced {
 		q.serviced[i] = servicedLine{}

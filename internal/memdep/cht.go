@@ -17,11 +17,14 @@ type chtEntry struct {
 
 // tagTable is the shared set-associative, LRU-replaced table under the
 // tagged CHT variants. It is indexed by load instruction-pointer bits, as
-// the paper's tables are.
+// the paper's tables are. The ways of all sets live in one flat backing
+// slice (set s occupies entries[s*ways : (s+1)*ways]) so building a table is
+// a single allocation and clearing it never regrows the heap.
 type tagTable struct {
-	sets [][]chtEntry
-	ways int
-	tick uint64
+	entries []chtEntry
+	numSets int
+	ways    int
+	tick    uint64
 }
 
 func newTagTable(entries, ways int) *tagTable {
@@ -32,24 +35,25 @@ func newTagTable(entries, ways int) *tagTable {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("memdep: set count %d not a power of two", numSets))
 	}
-	t := &tagTable{ways: ways}
-	t.sets = make([][]chtEntry, numSets)
-	for i := range t.sets {
-		t.sets[i] = make([]chtEntry, ways)
-	}
-	return t
+	return &tagTable{entries: make([]chtEntry, entries), numSets: numSets, ways: ways}
 }
 
 func (t *tagTable) index(ip uint64) (set, tag uint64) {
 	v := ip >> 2 // uops are 4-byte aligned in the synthetic ISA
-	return v % uint64(len(t.sets)), v / uint64(len(t.sets))
+	return v % uint64(t.numSets), v / uint64(t.numSets)
+}
+
+// set returns the ways of one set as a sub-slice of the flat backing array.
+func (t *tagTable) set(s uint64) []chtEntry {
+	return t.entries[int(s)*t.ways : int(s+1)*t.ways]
 }
 
 // find returns the entry for ip or nil, refreshing LRU on touch.
 func (t *tagTable) find(ip uint64, touch bool) *chtEntry {
 	set, tag := t.index(ip)
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
+	ways := t.set(set)
+	for i := range ways {
+		e := &ways[i]
 		if e.valid && e.tag == tag {
 			if touch {
 				t.tick++
@@ -67,28 +71,27 @@ func (t *tagTable) allocate(ip uint64) *chtEntry {
 		return e
 	}
 	set, tag := t.index(ip)
+	ways := t.set(set)
 	victim := 0
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
+	for i := range ways {
+		e := &ways[i]
 		if !e.valid {
 			victim = i
 			break
 		}
-		if e.lru < t.sets[set][victim].lru {
+		if e.lru < ways[victim].lru {
 			victim = i
 		}
 	}
 	t.tick++
-	t.sets[set][victim] = chtEntry{tag: tag, valid: true, lru: t.tick}
-	return &t.sets[set][victim]
+	ways[victim] = chtEntry{tag: tag, valid: true, lru: t.tick}
+	return &ways[victim]
 }
 
+// clear restores construction state in place, LRU clock included.
 func (t *tagTable) clear() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = chtEntry{}
-		}
-	}
+	clear(t.entries)
+	t.tick = 0
 }
 
 // mergeDistance folds a newly observed collision distance into an entry,
@@ -272,13 +275,19 @@ func (c *TaglessCHT) Record(ip uint64, collided bool, distance int) {
 	}
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor. The arrays are allocated once and
+// reinitialized in place, so a reset table is reusable without regrowing the
+// heap.
 func (c *TaglessCHT) Reset() {
-	c.counters = make([]predict.SatCounter, c.entries)
-	for i := range c.counters {
-		c.counters[i] = predict.NewSatCounter(c.counterBits)
+	if c.counters == nil {
+		c.counters = make([]predict.SatCounter, c.entries)
+		c.distances = make([]int, c.entries)
 	}
-	c.distances = make([]int, c.entries)
+	init := predict.NewSatCounter(c.counterBits)
+	for i := range c.counters {
+		c.counters[i] = init
+	}
+	clear(c.distances)
 }
 
 // Name implements Predictor.

@@ -64,13 +64,18 @@ func (s *StoreSets) Record(ip uint64, collided bool, distance int) {
 	s.distance[i] = mergeDistance(s.distance[i], distance)
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor. The tables are allocated once and
+// reinitialized in place, so a reset predictor is reusable without regrowing
+// the heap.
 func (s *StoreSets) Reset() {
-	s.ssit = make([]int32, s.entries)
+	if s.ssit == nil {
+		s.ssit = make([]int32, s.entries)
+		s.distance = make([]int, s.entries)
+	}
 	for i := range s.ssit {
 		s.ssit[i] = -1
 	}
-	s.distance = make([]int, s.entries)
+	clear(s.distance)
 	s.nextSet = 0
 }
 

@@ -146,8 +146,15 @@ type Engine struct {
 	regProd [uop.MaxArchRegs]int32
 	regSeq  [uop.MaxArchRegs]int64
 
-	// mob is indexed by StoreID - mobFirst.
+	// mob is a ring buffer of in-flight store records: the record for
+	// StoreID id lives at mob[(mobStart + id - mobFirst) % len(mob)], and
+	// mobLen records are live. The ring is sized once from Config.RenamePool
+	// (live stores are bounded by the instruction window) and doubles only
+	// in the degenerate case that bound is exceeded, so steady-state MOB
+	// traffic allocates nothing.
 	mob      []storeRec
+	mobStart int
+	mobLen   int
 	mobFirst int64
 
 	// pendingColl lists rob indexes of dispatched loads awaiting a colliding
@@ -186,22 +193,30 @@ type Engine struct {
 
 // NewEngine builds an engine; it panics on an invalid configuration
 // (configurations are static here, so an error return would only be
-// rethrown by every caller).
+// rethrown by every caller). Every variable-size structure is allocated
+// here, sized from the configuration; the per-run churn (ready set, wake
+// heap, MOB ring, pending-collision and miss-detection buffers) recycles
+// those arrays, so a warmed-up engine simulates without allocating.
 func NewEngine(cfg Config, src Source) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	e := &Engine{
-		cfg:      cfg,
-		src:      src,
-		hier:     cache.NewHierarchy(cfg.Hier),
-		missq:    cache.NewMissQueue(16),
-		rob:      make([]entry, cfg.RenamePool),
-		mobFirst: 1,
-		naive:    cfg.NaiveSchedule,
+	mobCap := cfg.RenamePool
+	if mobCap < 16 {
+		mobCap = 16
 	}
-	for i := range e.regProd {
-		e.regProd[i] = -1
+	e := &Engine{
+		cfg:            cfg,
+		src:            src,
+		hier:           cache.NewHierarchy(cfg.Hier),
+		missq:          cache.NewMissQueue(16),
+		rob:            make([]entry, cfg.RenamePool),
+		readyList:      make([]int32, 0, cfg.Window),
+		wakeQ:          make(wakeHeap, 0, cfg.RenamePool),
+		mob:            make([]storeRec, mobCap),
+		pendingColl:    make([]int32, 0, 16),
+		missDetections: make([]int64, 0, 16),
+		naive:          cfg.NaiveSchedule,
 	}
 	deps := PolicyDeps{Hier: e.hier, MissQ: e.missq}
 	if cfg.NewPolicy != nil {
@@ -210,7 +225,59 @@ func NewEngine(cfg Config, src Source) *Engine {
 		e.policy = DefaultPolicy(cfg, deps)
 	}
 	e.oracle = e.policy.Oracle()
+	e.resetState()
 	return e
+}
+
+// resetState restores the construction-time machine state in place, keeping
+// every allocated structure (rob, ready list, wake heap, MOB ring, buffers —
+// including each entry's wakeup-list backing array).
+func (e *Engine) resetState() {
+	for i := range e.rob {
+		en := &e.rob[i]
+		*en = entry{waiters: en.waiters[:0]}
+	}
+	e.head, e.count, e.rsCount = 0, 0, 0
+	e.readyList = e.readyList[:0]
+	e.wakeQ = e.wakeQ[:0]
+	e.renameAge = 0
+	e.now = 0
+	for i := range e.regProd {
+		e.regProd[i] = -1
+		e.regSeq[i] = 0
+	}
+	e.mobStart, e.mobLen = 0, 0
+	e.mobFirst = 1
+	e.pendingColl = e.pendingColl[:0]
+	e.awaitingBranch, e.resumeAt = false, 0
+	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
+	e.replayMemDebt, e.replayIntDebt = 0, 0
+	e.recoveryStallUntil, e.recoveryCause = 0, stallNone
+	e.missDetections = e.missDetections[:0]
+	e.cycleRetired, e.cycleRenameStalled, e.schedHold = 0, false, stallNone
+	e.stats = Stats{}
+}
+
+// Reset restores the engine to the state NewEngine left it in — same
+// configuration, fresh machine — reusing every allocation: the caches and
+// miss queue reset in place (so policies holding the Hierarchy pointer stay
+// wired), the speculation policy resets its predictor tables, and the
+// engine-side structures rewind via resetState. src supplies the next run's
+// uop stream. It returns false, leaving the engine untouched, when the
+// policy does not implement PolicyResetter — such engines cannot be reused
+// and callers must build a fresh one. A Reset engine produces bit-identical
+// statistics to a newly constructed engine with the same configuration.
+func (e *Engine) Reset(src Source) bool {
+	rp, ok := e.policy.(PolicyResetter)
+	if !ok {
+		return false
+	}
+	rp.Reset()
+	e.hier.Reset()
+	e.missq.Reset()
+	e.src = src
+	e.resetState()
+	return true
 }
 
 // Hierarchy exposes the simulated data hierarchy (read-only use).

@@ -6,31 +6,62 @@ package ooo
 // speculation policy asks through MOBView, and resolves collided loads once
 // the offending store's data timing is known.
 
-func (e *Engine) mobEnsure(id int64) *storeRec {
-	for int64(len(e.mob)) <= id-e.mobFirst {
-		e.mob = append(e.mob, storeRec{id: e.mobFirst + int64(len(e.mob))})
+// mobIdx maps an offset from mobFirst to its ring position. The offset is
+// always < len(e.mob), so one conditional wrap replaces a modulo.
+func (e *Engine) mobIdx(off int) int {
+	i := e.mobStart + off
+	if i >= len(e.mob) {
+		i -= len(e.mob)
 	}
-	return &e.mob[id-e.mobFirst]
+	return i
+}
+
+// mobGrow doubles the ring, re-laying the live records out from position 0.
+// Live stores are bounded by the rename pool the ring was sized from, so
+// this is a degenerate-workload escape hatch, not a steady-state path.
+func (e *Engine) mobGrow() {
+	grown := make([]storeRec, 2*len(e.mob))
+	for i := 0; i < e.mobLen; i++ {
+		grown[i] = e.mob[e.mobIdx(i)]
+	}
+	e.mob = grown
+	e.mobStart = 0
+}
+
+func (e *Engine) mobEnsure(id int64) *storeRec {
+	for e.mobFirst+int64(e.mobLen) <= id {
+		if e.mobLen == len(e.mob) {
+			e.mobGrow()
+		}
+		e.mob[e.mobIdx(e.mobLen)] = storeRec{id: e.mobFirst + int64(e.mobLen)}
+		e.mobLen++
+	}
+	return &e.mob[e.mobIdx(int(id-e.mobFirst))]
 }
 
 func (e *Engine) mobGet(id int64) *storeRec {
-	if id < e.mobFirst || id-e.mobFirst >= int64(len(e.mob)) {
+	off := id - e.mobFirst
+	if off < 0 || off >= int64(e.mobLen) {
 		return nil
 	}
-	return &e.mob[id-e.mobFirst]
+	return &e.mob[e.mobIdx(int(off))]
 }
 
 // lastStoreID returns the id of the youngest store renamed so far.
-func (e *Engine) lastStoreID() int64 { return e.mobFirst + int64(len(e.mob)) - 1 }
+func (e *Engine) lastStoreID() int64 { return e.mobFirst + int64(e.mobLen) - 1 }
 
 // mobPrune drops fully retired stores from the MOB head.
 func (e *Engine) mobPrune() {
-	for len(e.mob) > 0 {
-		r := &e.mob[0]
+	for e.mobLen > 0 {
+		r := &e.mob[e.mobStart]
 		if !(r.staRetired && r.stdRetired) {
 			return
 		}
-		e.mob = e.mob[1:]
+		e.mobStart++
+		if e.mobStart == len(e.mob) {
+			e.mobStart = 0
+		}
+		e.mobLen--
 		e.mobFirst++
 	}
 }

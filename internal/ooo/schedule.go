@@ -65,13 +65,10 @@ func (e *Engine) processMissDetections() {
 		}
 		kept = append(kept, d)
 	}
-	if len(kept) == 0 {
-		// Release the backing array: the retained capacity would otherwise
-		// live (and keep the slice header pinned to it) for the whole run.
-		e.missDetections = nil
-	} else {
-		e.missDetections = kept
-	}
+	// The backing array is deliberately retained (capacity is bounded by the
+	// loads in flight): detections recur throughout a run, and pooled engines
+	// reuse the buffer across runs.
+	e.missDetections = kept
 }
 
 // dispatchNaive is the retained reference scheduler (Config.NaiveSchedule):

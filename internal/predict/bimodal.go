@@ -30,11 +30,15 @@ func (b *Bimodal) Update(key uint64, outcome bool) {
 	b.table[b.index(key)].Train(outcome)
 }
 
-// Reset implements Binary.
+// Reset implements Binary. The table is allocated once and reinitialized in
+// place, so a reset predictor is reusable without regrowing the heap.
 func (b *Bimodal) Reset() {
-	b.table = make([]SatCounter, 1<<b.indexBits)
+	if b.table == nil {
+		b.table = make([]SatCounter, 1<<b.indexBits)
+	}
+	init := NewSatCounter(b.counterBits)
 	for i := range b.table {
-		b.table[i] = NewSatCounter(b.counterBits)
+		b.table[i] = init
 	}
 }
 

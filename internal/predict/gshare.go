@@ -57,14 +57,17 @@ func (g *GShare) WithInit(v uint8) *GShare {
 	return g
 }
 
-// Reset implements Binary.
+// Reset implements Binary. The table is allocated once and reinitialized in
+// place, so a reset predictor is reusable without regrowing the heap.
 func (g *GShare) Reset() {
-	g.table = make([]SatCounter, 1<<g.indexBits)
+	if g.table == nil {
+		g.table = make([]SatCounter, 1<<g.indexBits)
+	}
+	c := NewSatCounter(g.counterBits)
+	if g.biased {
+		c.value = g.initValue
+	}
 	for i := range g.table {
-		c := NewSatCounter(g.counterBits)
-		if g.biased {
-			c.value = g.initValue
-		}
 		g.table[i] = c
 	}
 	g.history = 0

@@ -87,15 +87,18 @@ func (g *GSkew) WithInit(v uint8) *GSkew {
 	return g
 }
 
-// Reset implements Binary.
+// Reset implements Binary. The banks are allocated once and reinitialized in
+// place, so a reset predictor is reusable without regrowing the heap.
 func (g *GSkew) Reset() {
+	c := NewSatCounter(g.counterBits)
+	if g.biased {
+		c.value = g.initValue
+	}
 	for b := 0; b < 3; b++ {
-		g.banks[b] = make([]SatCounter, 1<<g.indexBits)
+		if g.banks[b] == nil {
+			g.banks[b] = make([]SatCounter, 1<<g.indexBits)
+		}
 		for i := range g.banks[b] {
-			c := NewSatCounter(g.counterBits)
-			if g.biased {
-				c.value = g.initValue
-			}
 			g.banks[b][i] = c
 		}
 	}

@@ -61,15 +61,19 @@ func (l *Local) WithInit(v uint8) *Local {
 	return l
 }
 
-// Reset implements Binary.
+// Reset implements Binary. Both levels are allocated once and reinitialized
+// in place, so a reset predictor is reusable without regrowing the heap.
 func (l *Local) Reset() {
-	l.histories = make([]uint64, 1<<l.indexBits)
-	l.pattern = make([]SatCounter, 1<<l.historyLen)
+	if l.histories == nil {
+		l.histories = make([]uint64, 1<<l.indexBits)
+		l.pattern = make([]SatCounter, 1<<l.historyLen)
+	}
+	clear(l.histories)
+	c := NewSatCounter(l.counterBits)
+	if l.biased {
+		c.value = l.initValue
+	}
 	for i := range l.pattern {
-		c := NewSatCounter(l.counterBits)
-		if l.biased {
-			c.value = l.initValue
-		}
 		l.pattern[i] = c
 	}
 }

@@ -20,9 +20,12 @@ func NewTournament(a, b Binary, indexBits uint) *Tournament {
 }
 
 func (t *Tournament) resetChooser() {
-	t.chooser = make([]SatCounter, 1<<t.indexBits)
+	if t.chooser == nil {
+		t.chooser = make([]SatCounter, 1<<t.indexBits)
+	}
+	init := NewSatCounter(2)
 	for i := range t.chooser {
-		t.chooser[i] = NewSatCounter(2)
+		t.chooser[i] = init
 	}
 }
 

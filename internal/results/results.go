@@ -97,6 +97,11 @@ type RunnerCounters struct {
 	// MapTasks counts fan-out units dispatched through runner.Map,
 	// including the Do calls Pool.Run routes through it.
 	MapTasks int64 `json:"map_tasks"`
+	// EngineBuilds and EngineReuses split the executed describable
+	// simulations by whether a fresh engine was constructed or a pooled one
+	// was reset and reused.
+	EngineBuilds int64 `json:"engine_builds"`
+	EngineReuses int64 `json:"engine_reuses"`
 	// SimMillis is wall time spent inside simulations, summed over jobs
 	// (exceeds elapsed time when workers overlap).
 	SimMillis float64 `json:"sim_millis"`
@@ -107,9 +112,10 @@ type RunnerCounters struct {
 // String renders the counters as the CLI's one-line -v summary.
 func (c RunnerCounters) String() string {
 	return fmt.Sprintf(
-		"runner: %d jobs (%d simulated, %d memo hits, %d coalesced, %d uncached), %d map tasks, %s sim time, %d cache entries",
+		"runner: %d jobs (%d simulated, %d memo hits, %d coalesced, %d uncached), %d map tasks, %d engines built, %d reused, %s sim time, %d cache entries",
 		c.Jobs, c.Simulated, c.MemoHits, c.Coalesced, c.Uncached,
-		c.MapTasks, time.Duration(c.SimMillis*float64(time.Millisecond)).Round(time.Millisecond),
+		c.MapTasks, c.EngineBuilds, c.EngineReuses,
+		time.Duration(c.SimMillis*float64(time.Millisecond)).Round(time.Millisecond),
 		c.CacheEntries)
 }
 

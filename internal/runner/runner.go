@@ -39,21 +39,50 @@ type Job struct {
 	Uops, Warmup int
 }
 
-// simulate runs the job's simulation from scratch. The uop stream comes
-// from the process-wide shared recording (trace.Replay), so concurrent jobs
-// over one profile generate it once instead of once each.
-func (j Job) simulate() ooo.Stats {
-	cfg := j.Build()
-	cfg.WarmupUops = j.Warmup
-	return ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
-}
-
 // Pool is a bounded-concurrency simulation executor. The zero value is not
 // usable; construct with New or NewIsolated.
 type Pool struct {
 	workers int
 	cache   *Cache
+	engines enginePool
 	m       metrics
+}
+
+// enginePool recycles built engines across a pool's jobs, keyed by the
+// canonical machine description (the same key memoization uses, so a free
+// engine is guaranteed to match the requesting configuration exactly —
+// including the warmup length, which the description's WarmupUops field
+// pins). Only describable configurations are pooled: describability implies
+// the built-in policy, which supports in-place Reset, and no observation
+// callbacks whose closures an engine could go stale against. Free lists are
+// bounded by worker concurrency — an engine is either running a job or
+// parked here.
+type enginePool struct {
+	mu   sync.Mutex
+	free map[string][]*ooo.Engine
+}
+
+// take pops a parked engine for the machine description, or returns nil.
+func (ep *enginePool) take(desc string) *ooo.Engine {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	l := ep.free[desc]
+	if len(l) == 0 {
+		return nil
+	}
+	e := l[len(l)-1]
+	ep.free[desc] = l[:len(l)-1]
+	return e
+}
+
+// put parks a finished engine for reuse.
+func (ep *enginePool) put(desc string, e *ooo.Engine) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.free == nil {
+		ep.free = map[string][]*ooo.Engine{}
+	}
+	ep.free[desc] = append(ep.free[desc], e)
 }
 
 // Counters is a point-in-time snapshot of a pool's observability counters:
@@ -79,6 +108,10 @@ type Counters struct {
 	// MapTasks counts fan-out units dispatched through Map, including the
 	// Do calls Run routes through it.
 	MapTasks int64
+	// EngineBuilds and EngineReuses split the executed describable
+	// simulations by whether a fresh engine was constructed or a pooled one
+	// was Reset and reused.
+	EngineBuilds, EngineReuses int64
 	// SimTime is wall time spent inside simulations, summed over jobs.
 	SimTime time.Duration
 }
@@ -86,18 +119,21 @@ type Counters struct {
 // metrics is the pool-internal atomic counter block behind Counters.
 type metrics struct {
 	jobs, simulated, memoHits, coalesced, uncached, mapTasks, simNanos atomic.Int64
+	engineBuilds, engineReuses                                         atomic.Int64
 }
 
 // Counters snapshots the pool's observability counters.
 func (p *Pool) Counters() Counters {
 	return Counters{
-		Jobs:      p.m.jobs.Load(),
-		Simulated: p.m.simulated.Load(),
-		MemoHits:  p.m.memoHits.Load(),
-		Coalesced: p.m.coalesced.Load(),
-		Uncached:  p.m.uncached.Load(),
-		MapTasks:  p.m.mapTasks.Load(),
-		SimTime:   time.Duration(p.m.simNanos.Load()),
+		Jobs:         p.m.jobs.Load(),
+		Simulated:    p.m.simulated.Load(),
+		MemoHits:     p.m.memoHits.Load(),
+		Coalesced:    p.m.coalesced.Load(),
+		Uncached:     p.m.uncached.Load(),
+		MapTasks:     p.m.mapTasks.Load(),
+		EngineBuilds: p.m.engineBuilds.Load(),
+		EngineReuses: p.m.engineReuses.Load(),
+		SimTime:      time.Duration(p.m.simNanos.Load()),
 	}
 }
 
@@ -133,24 +169,27 @@ func (p *Pool) Workers() int {
 }
 
 // Do executes one job, through the memoization cache when the job's
-// configuration is describable (see ConfigKey).
+// configuration is describable (see ConfigKey). Describable jobs also run on
+// pooled engines — the machine description doubles as the reuse key — so the
+// steady-state cost of one more simulation is CPU, not allocation.
 func (p *Pool) Do(j Job) ooo.Stats {
 	p.m.jobs.Add(1)
 	cfg := j.Build()
 	cfg.WarmupUops = j.Warmup
+	desc, describable := ConfigKey(cfg)
 	run := func() ooo.Stats {
 		start := time.Now()
-		st := ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
+		var st ooo.Stats
+		if describable {
+			st = p.runPooled(desc, cfg, j)
+		} else {
+			st = ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
+		}
 		p.m.simNanos.Add(time.Since(start).Nanoseconds())
 		p.m.simulated.Add(1)
 		return st
 	}
-	if p.cache == nil {
-		p.m.uncached.Add(1)
-		return run()
-	}
-	desc, ok := ConfigKey(cfg)
-	if !ok {
+	if p.cache == nil || !describable {
 		p.m.uncached.Add(1)
 		return run()
 	}
@@ -161,6 +200,23 @@ func (p *Pool) Do(j Job) ooo.Stats {
 	case coalesced:
 		p.m.coalesced.Add(1)
 	}
+	return st
+}
+
+// runPooled executes one describable simulation on a recycled engine when
+// one is parked for the machine description, building (and afterwards
+// parking) a fresh one otherwise. The Reset-refused fallback is defensive:
+// describable configurations always carry the built-in resettable policy.
+func (p *Pool) runPooled(desc string, cfg ooo.Config, j Job) ooo.Stats {
+	e := p.engines.take(desc)
+	if e == nil || !e.Reset(trace.Replay(j.Profile)) {
+		e = ooo.NewEngine(cfg, trace.Replay(j.Profile))
+		p.m.engineBuilds.Add(1)
+	} else {
+		p.m.engineReuses.Add(1)
+	}
+	st := e.Run(j.Uops)
+	p.engines.put(desc, e)
 	return st
 }
 
