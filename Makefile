@@ -7,7 +7,7 @@ GO ?= go
 
 # Benchmark knobs: the selection and iteration count feed bench-json and
 # bench-compare; BENCH_THRESHOLD is the regression gate in percent.
-BENCH ?= Fig|EngineCycle|TraceReplay
+BENCH ?= Fig|EngineCycle|TraceReplay|Tournament
 BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_results.json
 BENCH_THRESHOLD ?= 10

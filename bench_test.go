@@ -139,6 +139,25 @@ func BenchmarkFig12BankMetric(b *testing.B) {
 	b.ReportMetric(m, "addr-metric-p5")
 }
 
+// BenchmarkTournament measures the policy-zoo race end-to-end: every
+// participant (built-in + internal/policies zoo) over every trace group.
+// The cache-free isolated pool makes each iteration pay full simulation
+// cost, so zoo-policy slowdowns (a heavier PredictLevel, a slower training
+// rule) gate through bench-compare like engine regressions do.
+func BenchmarkTournament(b *testing.B) {
+	o := benchOptions()
+	var winner float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Tournament(o)
+		for _, r := range rows {
+			if r.Group == trace.GroupSysmarkNT && r.Rank == 1 {
+				winner = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(winner, "NT-winner-speedup")
+}
+
 // --- ablation benches for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationCHTKinds compares the four CHT organizations end-to-end

@@ -8,6 +8,7 @@
 //	loadsched all [flags]                           reproduce every figure
 //	loadsched run [flags]                           one simulation, full stats
 //	loadsched cpistack [flags]                      per-group CPI stack view
+//	loadsched tournament [flags]                    race the policy zoo per group
 //	loadsched traces                                list the trace groups
 //
 // Flags (figure/all/run/sweep):
@@ -79,6 +80,8 @@ func main() {
 		runSweep(args)
 	case "cpistack":
 		runCPIStack(args)
+	case "tournament":
+		runTournament(args)
 	case "record":
 		runRecord(args)
 	case "replay":
@@ -100,6 +103,7 @@ commands:
   run [flags]             single simulation with full statistics
   sweep <kind> [flags]    sensitivity sweeps: window | penalty | chtsize
   cpistack [flags]        attribute every cycle to a stall cause per group
+  tournament [flags]      race the related-work policy zoo per trace group
   record -o f [flags]     serialize a synthetic trace to a file
   replay -f f [flags]     simulate a recorded trace file
   traces                  list trace groups and members
@@ -391,6 +395,53 @@ func runCPIStack(args []string) {
 	case "json", "csv":
 		rec := experiments.CPIStackRecord(*o, rows)
 		report := results.NewReport("cpistack", results.Options{
+			Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
+			[]results.Record{rec})
+		if op.verbose {
+			rc := runnerCounters(pool)
+			report.Runner = &rc
+		}
+		if err := report.Validate(); err != nil {
+			fatal("internal: %v", err)
+		}
+		emitReport(report, op)
+	default:
+		fatal("unknown format %q (want table | json | csv)", op.format)
+	}
+	if op.verbose {
+		fmt.Fprintln(os.Stderr, runnerCounters(pool))
+	}
+}
+
+// runTournament races the built-in policy against the internal/policies
+// zoo on every trace group, ranked on CPI, with each row's cycle
+// attribution showing where a policy's prediction moved the stall time.
+func runTournament(args []string) {
+	fs := flag.NewFlagSet("tournament", flag.ExitOnError)
+	o := optionFlags(fs)
+	quick := fs.Bool("quick", false, "small fast preset")
+	op := outputFlags(fs)
+	_ = fs.Parse(args)
+	if *quick {
+		applyQuick(o)
+	}
+	pool := runner.New(o.Workers)
+	o.Pool = pool
+	stop := op.startProfiling()
+	defer stop()
+
+	rows := experiments.Tournament(*o)
+	switch op.format {
+	case "table":
+		tbl := experiments.TournamentTable(rows)
+		if op.out != "" {
+			writeOut(op.out, "tournament.txt", []byte(tbl.String()))
+			break
+		}
+		tbl.Render(os.Stdout)
+	case "json", "csv":
+		rec := experiments.TournamentRecord(*o, rows)
+		report := results.NewReport("tournament", results.Options{
 			Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
 			[]results.Record{rec})
 		if op.verbose {

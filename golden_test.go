@@ -47,6 +47,42 @@ func TestGoldenAllFigures(t *testing.T) {
 	}
 }
 
+// TestGoldenTournament pins the policy-zoo tournament the same way: the
+// golden was captured with
+//
+//	loadsched tournament -quick -format json -j 1 > testdata/golden_tournament_quick.json
+//
+// and guards both the zoo policies' behavior (any drift in a predictor
+// shows up as a byte diff) and the results/v1 emission of the tournament
+// record kind.
+func TestGoldenTournament(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tournament run is a few seconds; skipped under -short")
+	}
+	want, err := os.ReadFile("testdata/golden_tournament_quick.json")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+
+	o := experiments.Quick()
+	o.Pool = runner.NewIsolated(1, runner.NewCache())
+	rec := experiments.TournamentRecord(o, experiments.Tournament(o))
+	report := results.NewReport("tournament", results.Options{
+		Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
+		[]results.Record{rec})
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := results.WriteJSON(&b, report); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		t.Fatalf("tournament record diverges from golden\n"+
+			"got %d bytes, want %d bytes\n%s", len(got), len(want), firstDiff(got, string(want)))
+	}
+}
+
 // firstDiff locates the first divergent line for a readable failure message.
 func firstDiff(got, want string) string {
 	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")

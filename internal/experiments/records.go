@@ -213,6 +213,8 @@ func FigureRecord(id string, o Options) (results.Record, error) {
 		return BankPoliciesRecord(o, BankPolicies(o)), nil
 	case "cpistack":
 		return CPIStackRecord(o, CPIStacks(o)), nil
+	case "tournament":
+		return TournamentRecord(o, Tournament(o)), nil
 	default:
 		return results.Record{}, fmt.Errorf("experiments: unknown figure record %q", id)
 	}

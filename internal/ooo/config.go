@@ -126,10 +126,21 @@ type Config struct {
 	// SpeculationPolicy — the seam through which a new scheme plugs into the
 	// pipeline without touching stage code. The constructor receives the
 	// engine-owned hierarchy and miss queue; wrap DefaultPolicy(cfg, deps)
-	// to override a single decision. Configurations carrying a custom
-	// policy are not memoizable by internal/runner (the policy's behavior
-	// cannot be described canonically).
+	// to override a single decision.
 	NewPolicy func(PolicyDeps) SpeculationPolicy
+
+	// PolicyKey canonically describes NewPolicy's product for the
+	// simulation runner's memo cache and engine pool. Setting it is a
+	// promise that the constructed policy is deterministic and fully
+	// determined by this description plus the rest of the configuration
+	// (no hidden state, no ambient inputs); the runner then memoizes and
+	// pools such configurations exactly like built-in ones. A config with
+	// NewPolicy set and PolicyKey empty runs unmemoized; PolicyKey without
+	// NewPolicy is rejected by Validate. Policies that additionally
+	// implement PolicyResetter get engine reuse on top of memoization;
+	// non-resettable ones fall back to fresh engine builds (visible in the
+	// runner's EngineBuilds counter).
+	PolicyKey string
 
 	// NaiveSchedule selects the retained reference scheduler: the original
 	// per-cycle full-window readiness walk, without the event-driven wakeup
@@ -202,6 +213,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ooo: every execution-unit count must be positive")
 	case c.NewPolicy == nil && c.Scheme.UsesCHT() && c.CHT == nil:
 		return fmt.Errorf("ooo: scheme %v requires a CHT", c.Scheme)
+	case c.NewPolicy == nil && c.PolicyKey != "":
+		return fmt.Errorf("ooo: PolicyKey %q set without NewPolicy", c.PolicyKey)
 	case c.CollisionPenalty < 0 || c.MissReplayPenalty < 0 || c.FrontEndRefill < 0:
 		return fmt.Errorf("ooo: negative penalty")
 	case c.MissRecoveryBubble < 0 || c.CollisionRecoveryBubble < 0:

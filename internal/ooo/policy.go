@@ -201,8 +201,18 @@ func (p *defaultPolicy) AllowOrdering(ld LoadView, mob MOBView) bool {
 		if ld.Pred.Colliding {
 			// Wait only for stores at the predicted distance or farther.
 			maxID := ld.OlderStores
-			if ld.Pred.Distance != memdep.NoDistance {
-				maxID = ld.OlderStores - int64(ld.Pred.Distance) + 1
+			if d := ld.Pred.Distance; d != memdep.NoDistance {
+				if d < 0 {
+					// A negative distance carries no usable store identity;
+					// computing maxID from it could overflow int64, so treat
+					// it like NoDistance and wait for every older store.
+				} else if maxID = ld.OlderStores - int64(d) + 1; maxID < mob.FirstStore()-1 {
+					// An over-long distance points below the oldest in-flight
+					// store: nothing to wait for. Clamp instead of handing
+					// StoresComplete a far-negative (or, after predictor
+					// overflow, huge positive) bound to walk.
+					maxID = mob.FirstStore() - 1
+				}
 			}
 			return mob.StoresComplete(maxID, true)
 		}

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"math"
 	"testing"
 
 	"loadsched/internal/memdep"
@@ -30,6 +31,59 @@ func TestNewPolicyWrapsDefault(t *testing.T) {
 	got := NewEngine(wrapped, trace.New(p)).Run(20000)
 	if got != base {
 		t.Fatalf("wrapping DefaultPolicy changed the run:\nbase: %+v\ngot:  %+v", base, got)
+	}
+}
+
+// extremeCHT is a stub collision predictor returning a fixed, possibly
+// pathological distance for every load.
+type extremeCHT struct{ dist int }
+
+func (c extremeCHT) Lookup(uint64) memdep.Prediction {
+	return memdep.Prediction{Colliding: true, Distance: c.dist}
+}
+func (extremeCHT) Record(uint64, bool, int) {}
+func (extremeCHT) Reset()                   {}
+func (extremeCHT) Name() string             { return "stub" }
+
+// TestExclusiveExtremeDistances: regression for the maxID underflow in the
+// Exclusive scheme's ordering decision. A hostile predicted distance
+// (negative, or far larger than the in-flight store window) must neither
+// wrap the store-id arithmetic nor hand StoresComplete an unbounded range
+// to walk.
+func TestExclusiveExtremeDistances(t *testing.T) {
+	p, _ := trace.TraceByName(trace.GroupSysmarkNT, "ex")
+	run := func(dist int) Stats {
+		cfg := DefaultConfig()
+		cfg.Scheme = memdep.Exclusive
+		cfg.CHT = extremeCHT{dist}
+		return NewEngine(cfg, trace.New(p)).Run(10_000)
+	}
+	// Colliding with no distance information: wait for every older store.
+	conservative := run(memdep.NoDistance)
+	// A negative distance carries no usable store identity and must degrade
+	// to exactly the no-distance behavior.
+	for _, d := range []int{-1, math.MinInt + 1, math.MinInt} {
+		if got := run(d); got != conservative {
+			t.Fatalf("distance %d diverged from the no-distance run:\nwant %+v\ngot  %+v",
+				d, conservative, got)
+		}
+	}
+	// A distance beyond every in-flight store waits for nothing, so every
+	// load advances immediately — the Opportunistic schedule. The run must
+	// terminate (pre-clamp, an overflowed maxID sent StoresComplete walking
+	// an astronomically long id range) and reproduce that schedule.
+	oppCfg := DefaultConfig()
+	oppCfg.Scheme = memdep.Opportunistic
+	opp := NewEngine(oppCfg, trace.New(p)).Run(10_000)
+	for _, d := range []int{1 << 40, math.MaxInt} {
+		got := run(d)
+		if got.Uops != conservative.Uops {
+			t.Fatalf("distance %d: simulated %d uops, want %d", d, got.Uops, conservative.Uops)
+		}
+		if got.Cycles != opp.Cycles || got.Collisions != opp.Collisions {
+			t.Fatalf("distance %d (cycles=%d collisions=%d) != Opportunistic (cycles=%d collisions=%d)",
+				d, got.Cycles, got.Collisions, opp.Cycles, opp.Collisions)
+		}
 	}
 }
 

@@ -44,6 +44,9 @@ const (
 	// KindCPIStack rows attribute every simulated cycle to a stall cause;
 	// per-cause cycles sum to the row's total cycles by construction.
 	KindCPIStack Kind = "cpistack"
+	// KindTournament rows race speculation policies per trace group, ranked
+	// on CPI; each row carries its full cycle-attribution stack.
+	KindTournament Kind = "tournament"
 )
 
 // Options echoes the experiment configuration a record was produced with.
@@ -230,6 +233,36 @@ type CPIStackRow struct {
 	FracData     float64 `json:"frac_data"`
 }
 
+// TournamentRow is one (trace group, policy) entry of the policy-zoo race:
+// pooled run statistics, the CPI ranking within the group, the speedup over
+// the group's default-policy entry, and the full cycle-attribution stack
+// (the cause columns partition Cycles exactly, as in CPIStackRow).
+type TournamentRow struct {
+	Group  string `json:"group"`
+	Policy string `json:"policy"`
+	// Rank orders the group's entries by CPI, 1 = fastest; ties keep
+	// registration order.
+	Rank    int     `json:"rank"`
+	Cycles  int64   `json:"cycles"`
+	Uops    uint64  `json:"uops"`
+	CPI     float64 `json:"cpi"`
+	Speedup float64 `json:"speedup"`
+	// The cause partition, in pipeline order.
+	Base              int64 `json:"base"`
+	Frontend          int64 `json:"frontend"`
+	WindowFull        int64 `json:"window_full"`
+	PortContention    int64 `json:"port_contention"`
+	OrderingWait      int64 `json:"ordering_wait"`
+	BankConflict      int64 `json:"bank_conflict"`
+	CollisionRecovery int64 `json:"collision_recovery"`
+	MissReplay        int64 `json:"miss_replay"`
+	DataStall         int64 `json:"data_stall"`
+	// Shares of all cycles for the causes the zoo policies move.
+	FracBase     float64 `json:"frac_base"`
+	FracOrdering float64 `json:"frac_ordering"`
+	FracData     float64 `json:"frac_data"`
+}
+
 // New assembles a Record with the current schema version.
 func New(id string, kind Kind, title, note string, opts Options, rows any) Record {
 	return Record{Schema: SchemaVersion, ID: id, Kind: kind, Title: title,
@@ -281,6 +314,23 @@ func (r Record) Validate() error {
 			if sum != row.Cycles {
 				return fmt.Errorf("results: cpistack record %q row %q: causes sum to %d, cycles are %d",
 					r.ID, row.Key, sum, row.Cycles)
+			}
+		}
+	case KindTournament:
+		rows, typed := r.Rows.([]TournamentRow)
+		ok = typed
+		// Tournament rows inherit the CPI-stack partition invariant.
+		for _, row := range rows {
+			sum := row.Base + row.Frontend + row.WindowFull + row.PortContention +
+				row.OrderingWait + row.BankConflict + row.CollisionRecovery +
+				row.MissReplay + row.DataStall
+			if sum != row.Cycles {
+				return fmt.Errorf("results: tournament record %q row %s/%s: causes sum to %d, cycles are %d",
+					r.ID, row.Group, row.Policy, sum, row.Cycles)
+			}
+			if row.Rank < 1 {
+				return fmt.Errorf("results: tournament record %q row %s/%s: rank %d < 1",
+					r.ID, row.Group, row.Policy, row.Rank)
 			}
 		}
 	case KindTable:

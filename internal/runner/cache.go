@@ -30,15 +30,23 @@ type Describer interface {
 // ConfigKey derives the canonical machine description of a configuration,
 // or ok=false when the configuration is not memoizable: it carries
 // observation callbacks (whose side effects a cached result would not
-// replay) or a predictor that does not describe itself.
+// replay), a predictor that does not describe itself, or a custom policy
+// without a PolicyKey.
 func ConfigKey(cfg ooo.Config) (key string, ok bool) {
 	if cfg.OnLoadRetire != nil || cfg.OnMemoryLoad != nil {
 		return "", false
 	}
-	// A custom speculation policy's behavior cannot be described
-	// canonically, so such configs run uncached.
+	// A custom speculation policy participates in memoization only when the
+	// configuration names its product canonically via PolicyKey — the
+	// author's promise that the constructed policy is deterministic and
+	// fully determined by that description plus the rest of the config.
+	// Undescribed custom policies run uncached, as before.
+	policy := "-"
 	if cfg.NewPolicy != nil {
-		return "", false
+		if cfg.PolicyKey == "" {
+			return "", false
+		}
+		policy = cfg.PolicyKey
 	}
 	cht, ok := describe(cfg.CHT == nil, cfg.CHT)
 	if !ok {
@@ -62,7 +70,9 @@ func ConfigKey(cfg ooo.Config) (key string, ok bool) {
 	flat := cfg
 	flat.CHT, flat.HMP, flat.Barrier, flat.BankPredictor = nil, nil, nil, nil
 	flat.OnLoadRetire, flat.OnMemoryLoad, flat.NewPolicy = nil, nil, nil
-	return fmt.Sprintf("%+v|cht=%s|hmp=%s|barrier=%s|bank=%s", flat, cht, hmp, bar, bp), true
+	flat.PolicyKey = "" // carried by the policy= component below
+	return fmt.Sprintf("%+v|cht=%s|hmp=%s|barrier=%s|bank=%s|policy=%s",
+		flat, cht, hmp, bar, bp, policy), true
 }
 
 // describe resolves one pluggable component to its canonical description.

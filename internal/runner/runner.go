@@ -52,11 +52,14 @@ type Pool struct {
 // canonical machine description (the same key memoization uses, so a free
 // engine is guaranteed to match the requesting configuration exactly —
 // including the warmup length, which the description's WarmupUops field
-// pins). Only describable configurations are pooled: describability implies
-// the built-in policy, which supports in-place Reset, and no observation
-// callbacks whose closures an engine could go stale against. Free lists are
-// bounded by worker concurrency — an engine is either running a job or
-// parked here.
+// pins). Only describable configurations are pooled: describability rules
+// out observation callbacks whose closures an engine could go stale
+// against, and covers custom policies only when a PolicyKey names them.
+// Reuse additionally requires the policy to implement PolicyResetter (the
+// built-in one does; described custom policies opt in); a parked engine
+// whose policy refuses Reset is discarded and the job builds fresh, which
+// the EngineBuilds counter surfaces. Free lists are bounded by worker
+// concurrency — an engine is either running a job or parked here.
 type enginePool struct {
 	mu   sync.Mutex
 	free map[string][]*ooo.Engine
@@ -205,8 +208,10 @@ func (p *Pool) Do(j Job) ooo.Stats {
 
 // runPooled executes one describable simulation on a recycled engine when
 // one is parked for the machine description, building (and afterwards
-// parking) a fresh one otherwise. The Reset-refused fallback is defensive:
-// describable configurations always carry the built-in resettable policy.
+// parking) a fresh one otherwise. The Reset-refused fallback is real for
+// described custom policies that do not implement PolicyResetter: every
+// such job builds a fresh engine, visible as EngineBuilds with zero
+// EngineReuses for that configuration.
 func (p *Pool) runPooled(desc string, cfg ooo.Config, j Job) ooo.Stats {
 	e := p.engines.take(desc)
 	if e == nil || !e.Reset(trace.Replay(j.Profile)) {

@@ -180,7 +180,37 @@ func TestConfigKeyCallbacksNotMemoizable(t *testing.T) {
 	cb = cfg
 	cb.NewPolicy = func(ooo.PolicyDeps) ooo.SpeculationPolicy { return nil }
 	if _, ok := ConfigKey(cb); ok {
-		t.Fatal("custom-policy config must not be memoizable")
+		t.Fatal("undescribed custom-policy config must not be memoizable")
+	}
+}
+
+// TestConfigKeyDescribedPolicy: a custom policy named by PolicyKey is
+// memoizable, keys apart from the built-in policy and from other policy
+// keys, and the description survives the scalar flattening.
+func TestConfigKeyDescribedPolicy(t *testing.T) {
+	cfg := ooo.DefaultConfig()
+	base, ok := ConfigKey(cfg)
+	if !ok {
+		t.Fatal("default config must be memoizable")
+	}
+	mk := func(key string) string {
+		c := cfg
+		c.NewPolicy = func(d ooo.PolicyDeps) ooo.SpeculationPolicy {
+			return ooo.DefaultPolicy(c, d)
+		}
+		c.PolicyKey = key
+		k, ok := ConfigKey(c)
+		if !ok {
+			t.Fatalf("described custom policy %q must be memoizable", key)
+		}
+		return k
+	}
+	a, b := mk("zoo/a"), mk("zoo/b")
+	if a == base || b == base {
+		t.Fatal("described custom policy shares a key with the built-in policy")
+	}
+	if a == b {
+		t.Fatal("distinct policy keys collide")
 	}
 }
 
@@ -311,6 +341,104 @@ func TestPoolCounters(t *testing.T) {
 	if c.Jobs != n+1 || c.Simulated != 2 {
 		t.Fatalf("after callback job: Jobs = %d, Simulated = %d, want %d and 2",
 			c.Jobs, c.Simulated, n+1)
+	}
+}
+
+// resettablePolicy is a described custom policy that opts into engine
+// reuse. Interface embedding does not promote the concrete Reset, so the
+// wrapper forwards it explicitly.
+type resettablePolicy struct{ ooo.SpeculationPolicy }
+
+func (p resettablePolicy) Reset() { p.SpeculationPolicy.(ooo.PolicyResetter).Reset() }
+
+// opaquePolicy is a described custom policy without Reset: memoizable, but
+// every execution must build a fresh engine.
+type opaquePolicy struct{ ooo.SpeculationPolicy }
+
+// customJob builds a Job whose config installs a wrapped DefaultPolicy under
+// the given PolicyKey.
+func customJob(t *testing.T, p trace.Profile, key string, resettable bool) Job {
+	t.Helper()
+	return Job{
+		Build: func() ooo.Config {
+			cfg := ooo.DefaultConfig()
+			base := cfg
+			cfg.PolicyKey = key
+			cfg.NewPolicy = func(d ooo.PolicyDeps) ooo.SpeculationPolicy {
+				inner := ooo.DefaultPolicy(base, d)
+				if resettable {
+					return resettablePolicy{inner}
+				}
+				return opaquePolicy{inner}
+			}
+			return cfg
+		},
+		Profile: p,
+		Uops:    5_000,
+		Warmup:  1_000,
+	}
+}
+
+// TestPoolCustomPolicyMemoized: the ISSUE 6 regression — submitting the same
+// described custom-policy config twice runs one simulation and lands the
+// second in MemoHits, and its result matches the equivalent built-in config.
+func TestPoolCustomPolicyMemoized(t *testing.T) {
+	p := NewIsolated(1, NewCache())
+	job := customJob(t, testProfile(t), "wrap/default", true)
+	first := p.Do(job)
+	second := p.Do(job)
+	if first != second {
+		t.Fatal("memoized custom-policy result diverged")
+	}
+	c := p.Counters()
+	if c.Simulated != 1 {
+		t.Fatalf("Simulated = %d, want 1", c.Simulated)
+	}
+	if c.MemoHits != 1 {
+		t.Fatalf("MemoHits = %d, want 1", c.MemoHits)
+	}
+	if c.Uncached != 0 {
+		t.Fatalf("Uncached = %d, want 0", c.Uncached)
+	}
+	// The wrapper adds no behavior, so the built-in policy must agree —
+	// proving the custom path simulates the same machine it describes.
+	if builtin := p.Do(testJob(t, memdep.Traditional)); builtin != first {
+		t.Fatalf("wrapped DefaultPolicy stats %+v != built-in %+v", first, builtin)
+	}
+}
+
+// TestPoolCustomPolicyEngineReuse: distinct traces on one described
+// resettable custom policy share pooled engines (reuse count > 0), while a
+// non-resettable policy is surfaced via EngineBuilds instead of silently
+// degrading.
+func TestPoolCustomPolicyEngineReuse(t *testing.T) {
+	var a, b trace.Profile
+	for _, g := range trace.Groups() {
+		if len(g.Traces) >= 2 {
+			a, b = g.Traces[0], g.Traces[1]
+			break
+		}
+	}
+	if a.Name == "" || b.Name == "" {
+		t.Fatal("no trace group with two members")
+	}
+
+	p := NewIsolated(1, NewCache())
+	p.Do(customJob(t, a, "wrap/default", true))
+	p.Do(customJob(t, b, "wrap/default", true))
+	c := p.Counters()
+	if c.EngineBuilds != 1 || c.EngineReuses != 1 {
+		t.Fatalf("resettable policy: EngineBuilds = %d, EngineReuses = %d, want 1 and 1",
+			c.EngineBuilds, c.EngineReuses)
+	}
+
+	p = NewIsolated(1, NewCache())
+	p.Do(customJob(t, a, "wrap/opaque", false))
+	p.Do(customJob(t, b, "wrap/opaque", false))
+	c = p.Counters()
+	if c.EngineBuilds != 2 || c.EngineReuses != 0 {
+		t.Fatalf("opaque policy: EngineBuilds = %d, EngineReuses = %d, want 2 and 0",
+			c.EngineBuilds, c.EngineReuses)
 	}
 }
 

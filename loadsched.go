@@ -267,7 +267,8 @@ type Figures = experiments.Options
 type Report = results.Report
 
 // FigureReport runs the named figure records ("fig5".."fig12",
-// "bankpolicies", or "cpistack"; none = all eight paper figures) under o and
+// "bankpolicies", "cpistack", or "tournament"; none = all eight paper
+// figures) under o and
 // returns the
 // structured report — the library counterpart of `loadsched all -format
 // json`. Record contents are a pure function of o (worker count excluded),
