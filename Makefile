@@ -17,7 +17,7 @@ BENCH_THRESHOLD ?= 10
 PROFILE_FIG ?= 8
 PROFILE_DIR ?= /tmp
 
-.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism cover profile clean
+.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism serve-smoke cover profile clean
 
 all: build
 
@@ -68,6 +68,13 @@ determinism: build
 	/tmp/loadsched-determinism all -quick -format json -j 8 > /tmp/loadsched-j8.json
 	cmp /tmp/loadsched-j1.json /tmp/loadsched-j8.json
 	@echo "determinism: -j1 and -j8 outputs are byte-identical (table and json)"
+
+# serve-smoke: end-to-end check of `loadsched serve` + the persistent
+# result store — remote output must be byte-identical to a local run, and a
+# server restarted on a warm store must answer the same sweep with zero
+# simulations (see scripts/serve-smoke.sh).
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 verify: build fmt-check vet race determinism
 	@echo "verify: OK"

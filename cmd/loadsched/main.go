@@ -9,6 +9,7 @@
 //	loadsched run [flags]                           one simulation, full stats
 //	loadsched cpistack [flags]                      per-group CPI stack view
 //	loadsched tournament [flags]                    race the policy zoo per group
+//	loadsched serve [flags]                         HTTP job API over the pool
 //	loadsched traces                                list the trace groups
 //
 // Flags (figure/all/run/sweep):
@@ -23,8 +24,14 @@
 //	            versioned records (schema loadsched.results/v1)
 //	-out DIR    write one result file per figure into DIR instead of stdout
 //	-v          print a runner observability summary (jobs, memo hits,
-//	            coalesces, sim wall time) to stderr; with -format json the
-//	            counters also ride in the report envelope
+//	            coalesces, disk hits, sim wall time) to stderr; with
+//	            -format json the counters also ride in the report envelope
+//	-store DIR  layer a persistent content-addressed result store under the
+//	            memo cache: results survive the process and later runs load
+//	            them instead of simulating
+//	-remote A   submit the job to a running `loadsched serve` at address A
+//	            (requires -format json or csv); records stream back and are
+//	            re-emitted byte-identically to a local run
 //	-cpuprofile/-memprofile/-trace F   write pprof / execution-trace data
 //
 // Flags (run):
@@ -48,7 +55,6 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
-	"time"
 
 	"loadsched/internal/experiments"
 	"loadsched/internal/hitmiss"
@@ -56,6 +62,7 @@ import (
 	"loadsched/internal/ooo"
 	"loadsched/internal/results"
 	"loadsched/internal/runner"
+	"loadsched/internal/serve"
 	"loadsched/internal/stats"
 	"loadsched/internal/trace"
 )
@@ -82,6 +89,8 @@ func main() {
 		runCPIStack(args)
 	case "tournament":
 		runTournament(args)
+	case "serve":
+		runServe(args)
 	case "record":
 		runRecord(args)
 	case "replay":
@@ -104,11 +113,14 @@ commands:
   sweep <kind> [flags]    sensitivity sweeps: window | penalty | chtsize
   cpistack [flags]        attribute every cycle to a stall cause per group
   tournament [flags]      race the related-work policy zoo per trace group
+  serve [flags]           HTTP job API: -addr -store -j -jobs -queue
   record -o f [flags]     serialize a synthetic trace to a file
   replay -f f [flags]     simulate a recorded trace file
   traces                  list trace groups and members
 run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick -j
 plus -format table|json|csv, -out DIR, -v, -cpuprofile -memprofile -trace;
+-store DIR layers a persistent result store under the memo cache;
+-remote ADDR submits the job to a running 'loadsched serve' instead;
 'run' also takes -group -trace -scheme -window -hmp -json (and -exectrace
 in place of -trace for execution tracing)`)
 }
@@ -141,6 +153,8 @@ type outputOptions struct {
 	format     string
 	out        string
 	verbose    bool
+	store      string
+	remote     string
 	cpuprofile string
 	memprofile string
 	traceFile  string
@@ -151,6 +165,8 @@ func outputFlags(fs *flag.FlagSet) *outputOptions {
 	fs.StringVar(&op.format, "format", "table", "output format: table | json | csv")
 	fs.StringVar(&op.out, "out", "", "write one result file per figure into this directory")
 	fs.BoolVar(&op.verbose, "v", false, "print a runner observability summary to stderr")
+	fs.StringVar(&op.store, "store", "", "persistent result store directory (disk-backed second-level cache)")
+	fs.StringVar(&op.remote, "remote", "", "submit the job to a `loadsched serve` address instead of simulating locally")
 	op.profileFlags(fs, "trace")
 	return op
 }
@@ -165,7 +181,10 @@ func (op *outputOptions) profileFlags(fs *flag.FlagSet, traceFlag string) {
 }
 
 // startProfiling starts the requested pprof/trace collectors and returns the
-// function that stops them and writes the profiles out.
+// function that stops them and writes the profiles out. Stops check the
+// file Close errors: a profile truncated by a close-time flush failure
+// looks valid to pprof until deep into analysis, so it must fail loudly
+// here instead.
 func (op *outputOptions) startProfiling() func() {
 	var stops []func()
 	if op.cpuprofile != "" {
@@ -176,7 +195,12 @@ func (op *outputOptions) startProfiling() func() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal("cpuprofile: %v", err)
 		}
-		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal("cpuprofile: %v", err)
+			}
+		})
 	}
 	if op.traceFile != "" {
 		f, err := os.Create(op.traceFile)
@@ -186,7 +210,12 @@ func (op *outputOptions) startProfiling() func() {
 		if err := rtrace.Start(f); err != nil {
 			fatal("trace: %v", err)
 		}
-		stops = append(stops, func() { rtrace.Stop(); f.Close() })
+		stops = append(stops, func() {
+			rtrace.Stop()
+			if err := f.Close(); err != nil {
+				fatal("trace: %v", err)
+			}
+		})
 	}
 	if op.memprofile != "" {
 		path := op.memprofile
@@ -195,9 +224,12 @@ func (op *outputOptions) startProfiling() func() {
 			if err != nil {
 				fatal("memprofile: %v", err)
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fatal("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
 				fatal("memprofile: %v", err)
 			}
 		})
@@ -210,16 +242,10 @@ func (op *outputOptions) startProfiling() func() {
 }
 
 // runnerCounters converts a pool's counter snapshot to the JSON envelope
-// form, for both the -v summary and the report's Runner field.
+// form, for both the -v summary and the report's Runner field. The
+// conversion lives in serve (the done-line uses the identical one).
 func runnerCounters(pool *runner.Pool) results.RunnerCounters {
-	c := pool.Counters()
-	return results.RunnerCounters{
-		Jobs: c.Jobs, Simulated: c.Simulated, MemoHits: c.MemoHits,
-		Coalesced: c.Coalesced, Uncached: c.Uncached, MapTasks: c.MapTasks,
-		EngineBuilds: c.EngineBuilds, EngineReuses: c.EngineReuses,
-		SimMillis:    float64(c.SimTime) / float64(time.Millisecond),
-		CacheEntries: pool.CacheLen(),
-	}
+	return serve.Counters(pool)
 }
 
 func runFigures(figs []string, args []string) {
@@ -232,6 +258,17 @@ func runFigures(figs []string, args []string) {
 	if *quick {
 		applyQuick(o)
 	}
+	if op.remote != "" {
+		job := serve.Job{Command: "figure", Figures: figs}
+		command := "figure " + strings.Join(figs, " ")
+		if len(figs) == 8 {
+			job = serve.Job{Command: "all"}
+			command = "all"
+		}
+		runRemote(op, job, command, o)
+		return
+	}
+	op.attachStore()
 	// One pool for the whole invocation, so the -v counters aggregate every
 	// figure's jobs (drivers would otherwise each resolve a fresh pool).
 	pool := runner.New(o.Workers)
@@ -320,16 +357,37 @@ func emitReport(report results.Report, op *outputOptions) {
 	}
 }
 
-// writeOut writes one output file under dir, creating the directory.
+// writeOut writes one output file under dir, creating the directory, and
+// exits through fatal on any failure.
 func writeOut(dir, name string, data []byte) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal("out: %v", err)
-	}
-	path := filepath.Join(dir, name)
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	path, err := writeResultFile(dir, name, data)
+	if err != nil {
 		fatal("out: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// writeResultFile writes one result file under dir and reports write AND
+// close errors. Result files are the tool's product; a close-time flush
+// failure (full disk, remote filesystem) silently truncates them if only
+// the write is checked.
+func writeResultFile(dir, name string, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return "", fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("closing %s: %w", path, err)
+	}
+	return path, nil
 }
 
 // figureData runs one figure and derives every view — table, chart and
@@ -378,6 +436,11 @@ func runCPIStack(args []string) {
 	if *quick {
 		applyQuick(o)
 	}
+	if op.remote != "" {
+		runRemote(op, serve.Job{Command: "cpistack"}, "cpistack", o)
+		return
+	}
+	op.attachStore()
 	pool := runner.New(o.Workers)
 	o.Pool = pool
 	stop := op.startProfiling()
@@ -425,6 +488,11 @@ func runTournament(args []string) {
 	if *quick {
 		applyQuick(o)
 	}
+	if op.remote != "" {
+		runRemote(op, serve.Job{Command: "tournament"}, "tournament", o)
+		return
+	}
+	op.attachStore()
 	pool := runner.New(o.Workers)
 	o.Pool = pool
 	stop := op.startProfiling()

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteResultFile(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("writes and reports the path", func(t *testing.T) {
+		path, err := writeResultFile(filepath.Join(dir, "out"), "fig7.json", []byte("{}"))
+		if err != nil {
+			t.Fatalf("writeResultFile: %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != "{}" {
+			t.Fatalf("read back %q, err %v", got, err)
+		}
+	})
+
+	t.Run("directory creation failure surfaces", func(t *testing.T) {
+		// A plain file where the output directory should go: MkdirAll fails.
+		blocker := filepath.Join(dir, "blocker")
+		if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeResultFile(blocker, "fig7.json", []byte("{}")); err == nil {
+			t.Fatal("writing under a file path should fail")
+		}
+	})
+
+	t.Run("create failure surfaces", func(t *testing.T) {
+		// The result "file" name collides with an existing subdirectory:
+		// os.Create fails, and the error must reach the caller rather than
+		// leaving a silently-missing result.
+		out := filepath.Join(dir, "out2")
+		if err := os.MkdirAll(filepath.Join(out, "fig7.json"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeResultFile(out, "fig7.json", []byte("{}")); err == nil {
+			t.Fatal("creating over a directory should fail")
+		}
+	})
+}

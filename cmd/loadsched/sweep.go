@@ -10,13 +10,15 @@ import (
 	"loadsched/internal/ooo"
 	"loadsched/internal/results"
 	"loadsched/internal/runner"
-	"loadsched/internal/stats"
+	"loadsched/internal/serve"
 	"loadsched/internal/trace"
 )
 
 // runSweep implements `loadsched sweep <kind>`: sensitivity sweeps beyond
 // the paper's figures — window size, collision penalty, CHT size — useful
-// for exploring the design space the paper's constants sit in.
+// for exploring the design space the paper's constants sit in. The sweep
+// logic itself lives in experiments.SweepTable so `loadsched serve` runs
+// the identical computation.
 func runSweep(args []string) {
 	if len(args) < 1 {
 		fatal("sweep: missing kind (window | penalty | chtsize | bankpolicies)")
@@ -31,107 +33,19 @@ func runSweep(args []string) {
 	if *quick {
 		applyQuick(o)
 	}
+	if op.remote != "" {
+		runRemote(op, serve.Job{Command: "sweep", Sweep: kind, Group: *group}, "sweep "+kind, o)
+		return
+	}
+	op.attachStore()
 	stop := op.startProfiling()
 	defer stop()
 
-	g, ok := trace.GroupByName(*group)
-	if !ok {
-		fatal("unknown group %q", *group)
-	}
-	traces := g.Traces
-	if o.TracesPerGroup > 0 && o.TracesPerGroup < len(traces) {
-		traces = traces[:o.TracesPerGroup]
-	}
-
-	// run executes one machine point over every trace concurrently (the
-	// shared cache reuses any point an earlier row already simulated) and
-	// geo-means the IPCs. mut must be a pure config mutation: it is re-run
-	// for every trace.
 	pool := runner.New(o.Workers)
 	o.Pool = pool
-	run := func(mut func(*ooo.Config)) float64 {
-		jobs := make([]runner.Job, len(traces))
-		for i, p := range traces {
-			jobs[i] = runner.Job{
-				Build: func() ooo.Config {
-					cfg := ooo.DefaultConfig()
-					mut(&cfg)
-					return cfg
-				},
-				Profile: p,
-				Uops:    o.Uops,
-				Warmup:  o.EffectiveWarmup(),
-			}
-		}
-		sts := pool.Run(jobs)
-		ipc := make([]float64, len(sts))
-		for i, st := range sts {
-			ipc[i] = st.IPC()
-		}
-		m, dropped := stats.GeoMeanCounted(ipc)
-		if dropped > 0 {
-			fmt.Fprintf(os.Stderr, "loadsched: sweep %s: %d of %d traces produced non-positive IPC, excluded from the mean\n",
-				kind, dropped, len(ipc))
-		}
-		return m
-	}
-
-	var t stats.Table
-	switch kind {
-	case "window":
-		t = stats.Table{
-			Title:   fmt.Sprintf("Sweep — IPC vs scheduling window (%s)", *group),
-			Columns: []string{"window", "Traditional", "Exclusive", "Perfect", "Excl speedup"},
-		}
-		for _, w := range []int{8, 16, 32, 64, 128} {
-			trad := run(func(c *ooo.Config) { c.Window = w })
-			excl := run(func(c *ooo.Config) {
-				c.Window = w
-				c.Scheme = memdep.Exclusive
-				c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
-			})
-			perf := run(func(c *ooo.Config) { c.Window = w; c.Scheme = memdep.Perfect })
-			t.AddRow(fmt.Sprintf("%d", w), stats.F3(trad), stats.F3(excl), stats.F3(perf),
-				stats.F3(excl/trad))
-		}
-	case "penalty":
-		t = stats.Table{
-			Title:   fmt.Sprintf("Sweep — ordering-scheme speedup vs collision penalty (%s)", *group),
-			Note:    "the paper's constant is 8 cycles (§3.1)",
-			Columns: []string{"penalty", "Opportunistic", "Inclusive", "Perfect"},
-		}
-		for _, pen := range []int{0, 4, 8, 16, 32} {
-			base := run(func(c *ooo.Config) { c.CollisionPenalty = pen })
-			row := []string{fmt.Sprintf("%d", pen)}
-			for _, s := range []memdep.Scheme{memdep.Opportunistic, memdep.Inclusive, memdep.Perfect} {
-				v := run(func(c *ooo.Config) {
-					c.CollisionPenalty = pen
-					c.Scheme = s
-					if s.UsesCHT() {
-						c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
-					}
-				})
-				row = append(row, stats.F3(v/base))
-			}
-			t.AddRow(row...)
-		}
-	case "chtsize":
-		t = stats.Table{
-			Title:   fmt.Sprintf("Sweep — Inclusive-scheme speedup vs Full-CHT size (%s)", *group),
-			Columns: []string{"entries", "speedup"},
-		}
-		base := run(func(c *ooo.Config) {})
-		for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
-			v := run(func(c *ooo.Config) {
-				c.Scheme = memdep.Inclusive
-				c.CHT = memdep.NewFullCHT(n, 4, 2, true)
-			})
-			t.AddRow(fmt.Sprintf("%d", n), stats.F3(v/base))
-		}
-	case "bankpolicies":
-		t = experiments.BankPoliciesTable(experiments.BankPolicies(*o))
-	default:
-		fatal("unknown sweep %q (want window | penalty | chtsize | bankpolicies)", kind)
+	t, err := experiments.SweepTable(kind, *group, *o)
+	if err != nil {
+		fatal("%v", err)
 	}
 	switch op.format {
 	case "table":

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/ooo"
+	"loadsched/internal/results"
+	"loadsched/internal/runner"
+	"loadsched/internal/stats"
+	"loadsched/internal/trace"
+)
+
+// SweepKinds lists the sensitivity sweeps SweepTable accepts.
+var SweepKinds = []string{"window", "penalty", "chtsize", "bankpolicies"}
+
+// SweepTable runs one sensitivity sweep — design-space exploration beyond
+// the paper's figures — and returns its rendered table. kind selects the
+// axis (window size, collision penalty, Full-CHT size, or the §2.3 bank
+// combination policies); group names the trace group the geomeans run over
+// (ignored by bankpolicies, which is defined on SpecInt95).
+//
+// Previously this logic lived in the CLI; it moved here so the serve job
+// API and the CLI execute the identical sweep.
+func SweepTable(kind, group string, o Options) (stats.Table, error) {
+	if kind == "bankpolicies" {
+		return BankPoliciesTable(BankPolicies(o)), nil
+	}
+	g, ok := trace.GroupByName(group)
+	if !ok {
+		return stats.Table{}, fmt.Errorf("experiments: unknown group %q", group)
+	}
+	traces := o.traces(g)
+	pool := o.pool()
+
+	// runPoint executes one machine point over every trace concurrently (the
+	// pool's cache reuses any point an earlier row already simulated) and
+	// geo-means the IPCs. mut must be a pure config mutation: it is re-run
+	// for every trace.
+	var t stats.Table
+	runPoint := func(mut func(*ooo.Config)) float64 {
+		jobs := make([]runner.Job, len(traces))
+		for i, p := range traces {
+			jobs[i] = o.job(func() ooo.Config {
+				cfg := ooo.DefaultConfig()
+				mut(&cfg)
+				return cfg
+			}, p)
+		}
+		sts := pool.Run(jobs)
+		ipc := make([]float64, len(sts))
+		for i, st := range sts {
+			ipc[i] = st.IPC()
+		}
+		m, dropped := stats.GeoMeanCounted(ipc)
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "loadsched: sweep %s: %d of %d traces produced non-positive IPC, excluded from the mean\n",
+				kind, dropped, len(ipc))
+		}
+		return m
+	}
+	switch kind {
+	case "window":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — IPC vs scheduling window (%s)", group),
+			Columns: []string{"window", "Traditional", "Exclusive", "Perfect", "Excl speedup"},
+		}
+		for _, w := range []int{8, 16, 32, 64, 128} {
+			trad := runPoint(func(c *ooo.Config) { c.Window = w })
+			excl := runPoint(func(c *ooo.Config) {
+				c.Window = w
+				c.Scheme = memdep.Exclusive
+				c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+			})
+			perf := runPoint(func(c *ooo.Config) { c.Window = w; c.Scheme = memdep.Perfect })
+			t.AddRow(fmt.Sprintf("%d", w), stats.F3(trad), stats.F3(excl), stats.F3(perf),
+				stats.F3(excl/trad))
+		}
+	case "penalty":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — ordering-scheme speedup vs collision penalty (%s)", group),
+			Note:    "the paper's constant is 8 cycles (§3.1)",
+			Columns: []string{"penalty", "Opportunistic", "Inclusive", "Perfect"},
+		}
+		for _, pen := range []int{0, 4, 8, 16, 32} {
+			base := runPoint(func(c *ooo.Config) { c.CollisionPenalty = pen })
+			row := []string{fmt.Sprintf("%d", pen)}
+			for _, s := range []memdep.Scheme{memdep.Opportunistic, memdep.Inclusive, memdep.Perfect} {
+				v := runPoint(func(c *ooo.Config) {
+					c.CollisionPenalty = pen
+					c.Scheme = s
+					if s.UsesCHT() {
+						c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
+					}
+				})
+				row = append(row, stats.F3(v/base))
+			}
+			t.AddRow(row...)
+		}
+	case "chtsize":
+		t = stats.Table{
+			Title:   fmt.Sprintf("Sweep — Inclusive-scheme speedup vs Full-CHT size (%s)", group),
+			Columns: []string{"entries", "speedup"},
+		}
+		base := runPoint(func(c *ooo.Config) {})
+		for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
+			v := runPoint(func(c *ooo.Config) {
+				c.Scheme = memdep.Inclusive
+				c.CHT = memdep.NewFullCHT(n, 4, 2, true)
+			})
+			t.AddRow(fmt.Sprintf("%d", n), stats.F3(v/base))
+		}
+	default:
+		return stats.Table{}, fmt.Errorf("experiments: unknown sweep %q (want window | penalty | chtsize | bankpolicies)", kind)
+	}
+	return t, nil
+}
+
+// SweepRecord runs one sweep and wraps the rendered table as a table-kind
+// results/v1 record (positional string cells under the table's column
+// names), exactly as the CLI has always emitted sweeps.
+func SweepRecord(kind, group string, o Options) (results.Record, error) {
+	t, err := SweepTable(kind, group, o)
+	if err != nil {
+		return results.Record{}, err
+	}
+	return results.NewTable("sweep-"+kind, t.Title, t.Note,
+		results.Options{Uops: o.Uops, Warmup: o.Warmup, TracesPerGroup: o.TracesPerGroup},
+		t.Columns, t.Rows), nil
+}

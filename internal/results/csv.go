@@ -36,11 +36,12 @@ func WriteCSV(w io.Writer, rec Record) error {
 	}
 	rows := reflect.ValueOf(rec.Rows)
 	rowType := rows.Type().Elem()
-	if err := cw.Write(csvHeader(rowType)); err != nil {
+	fields := csvFields(rowType)
+	if err := cw.Write(csvHeader(rowType, fields)); err != nil {
 		return err
 	}
 	for i := 0; i < rows.Len(); i++ {
-		if err := cw.Write(csvCells(rows.Index(i))); err != nil {
+		if err := cw.Write(csvCells(rows.Index(i), fields)); err != nil {
 			return err
 		}
 	}
@@ -64,26 +65,44 @@ func WriteReportCSV(w io.Writer, r Report) error {
 	return nil
 }
 
-// csvHeader derives column names from the row struct's json tags, in field
-// declaration order.
-func csvHeader(t reflect.Type) []string {
-	cols := make([]string, t.NumField())
-	for i := range cols {
+// csvFields lists the field indices that participate in CSV emission.
+// Fields tagged `json:"-"` are excluded — from the header AND the cells, so
+// the two always agree — matching encoding/json's exclusion rule (the
+// literal column name "-" is still expressible as `json:"-,"`).
+func csvFields(t reflect.Type) []int {
+	idx := make([]int, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).Tag.Get("json") == "-" {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// csvHeader derives column names for the participating fields from the row
+// struct's json tags, in field declaration order. A tag with an empty name
+// part (like `json:",omitempty"`) falls back to the Go field name, as
+// encoding/json does.
+func csvHeader(t reflect.Type, fields []int) []string {
+	cols := make([]string, len(fields))
+	for j, i := range fields {
 		tag := t.Field(i).Tag.Get("json")
-		if name, _, found := strings.Cut(tag, ","); found || tag != "" {
-			cols[i] = name
+		name, _, found := strings.Cut(tag, ",")
+		if (found || tag != "") && name != "" {
+			cols[j] = name
 		} else {
-			cols[i] = t.Field(i).Name
+			cols[j] = t.Field(i).Name
 		}
 	}
 	return cols
 }
 
-// csvCells formats one row struct's fields.
-func csvCells(v reflect.Value) []string {
-	cells := make([]string, v.NumField())
-	for i := range cells {
-		cells[i] = csvValue(v.Field(i))
+// csvCells formats one row struct's participating fields.
+func csvCells(v reflect.Value, fields []int) []string {
+	cells := make([]string, len(fields))
+	for j, i := range fields {
+		cells[j] = csvValue(v.Field(i))
 	}
 	return cells
 }
@@ -98,7 +117,11 @@ func csvValue(f reflect.Value) string {
 		return strconv.FormatInt(f.Int(), 10)
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
 		return strconv.FormatUint(f.Uint(), 10)
-	case reflect.Float32, reflect.Float64:
+	case reflect.Float32:
+		// bitSize 32 keeps float32 values at their shortest exact form
+		// ("0.1", not the float64 rendering "0.10000000149011612").
+		return strconv.FormatFloat(f.Float(), 'g', -1, 32)
+	case reflect.Float64:
 		return strconv.FormatFloat(f.Float(), 'g', -1, 64)
 	case reflect.Slice:
 		parts := make([]string, f.Len())

@@ -71,6 +71,8 @@ func DecodeRecord(data []byte) (Record, error) {
 		err = decodeRows[BankRow](raw.Rows, &rec)
 	case KindCPIStack:
 		err = decodeRows[CPIStackRow](raw.Rows, &rec)
+	case KindTournament:
+		err = decodeRows[TournamentRow](raw.Rows, &rec)
 	case KindTable:
 		err = decodeRows[[]string](raw.Rows, &rec)
 	default:

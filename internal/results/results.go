@@ -97,6 +97,14 @@ type RunnerCounters struct {
 	MemoHits  int64 `json:"memo_hits"`
 	Coalesced int64 `json:"coalesced"`
 	Uncached  int64 `json:"uncached"`
+	// DiskHits served results from the persistent store (zero simulations in
+	// any process); the Store* fields snapshot the store's own counters —
+	// process-wide totals, unlike the per-pool numbers above. All four are
+	// omitted when no store is attached.
+	DiskHits     int64 `json:"disk_hits,omitempty"`
+	StoreWrites  int64 `json:"store_writes,omitempty"`
+	StoreCorrupt int64 `json:"store_corrupt,omitempty"`
+	StoreHits    int64 `json:"store_hits,omitempty"`
 	// MapTasks counts fan-out units dispatched through runner.Map,
 	// including the Do calls Pool.Run routes through it.
 	MapTasks int64 `json:"map_tasks"`
@@ -112,14 +120,20 @@ type RunnerCounters struct {
 	CacheEntries int `json:"cache_entries"`
 }
 
-// String renders the counters as the CLI's one-line -v summary.
+// String renders the counters as the CLI's one-line -v summary. The disk
+// clause appears only when a persistent store saw any traffic.
 func (c RunnerCounters) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"runner: %d jobs (%d simulated, %d memo hits, %d coalesced, %d uncached), %d map tasks, %d engines built, %d reused, %s sim time, %d cache entries",
 		c.Jobs, c.Simulated, c.MemoHits, c.Coalesced, c.Uncached,
 		c.MapTasks, c.EngineBuilds, c.EngineReuses,
 		time.Duration(c.SimMillis*float64(time.Millisecond)).Round(time.Millisecond),
 		c.CacheEntries)
+	if c.DiskHits != 0 || c.StoreWrites != 0 || c.StoreCorrupt != 0 || c.StoreHits != 0 {
+		s += fmt.Sprintf(", %d disk hits (store: %d writes, %d corrupt)",
+			c.DiskHits, c.StoreWrites, c.StoreCorrupt)
+	}
+	return s
 }
 
 // ClassificationRow is one load-scheduling classification tally: Figure 5

@@ -199,4 +199,96 @@ func TestRunnerCountersString(t *testing.T) {
 			t.Errorf("summary missing %q: %s", want, s)
 		}
 	}
+	// No store traffic → no disk clause.
+	if strings.Contains(s, "disk hits") {
+		t.Errorf("summary mentions disk hits without a store: %s", s)
+	}
+	s = RunnerCounters{Jobs: 10, DiskHits: 10, StoreWrites: 3, StoreCorrupt: 1}.String()
+	for _, want := range []string{"10 disk hits", "3 writes", "1 corrupt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("store summary missing %q: %s", want, s)
+		}
+	}
+}
+
+// TestCSVFloat32Shortest: float32 fields must format at 32-bit precision —
+// FormatFloat with bitSize 64 would render float32(0.1) as
+// "0.10000000149011612".
+func TestCSVFloat32Shortest(t *testing.T) {
+	row := struct {
+		A float32
+		B float64
+	}{A: 0.1, B: 0.1}
+	cells := csvCells(reflect.ValueOf(row), []int{0, 1})
+	if cells[0] != "0.1" {
+		t.Errorf("float32 cell = %q, want \"0.1\"", cells[0])
+	}
+	if cells[1] != "0.1" {
+		t.Errorf("float64 cell = %q, want \"0.1\"", cells[1])
+	}
+	big := struct{ A float32 }{A: 16777217} // rounds to 1.6777216e+07 in float32
+	if got := csvCells(reflect.ValueOf(big), []int{0})[0]; got != "1.6777216e+07" {
+		t.Errorf("large float32 cell = %q, want \"1.6777216e+07\"", got)
+	}
+}
+
+// TestCSVSkipsDashFields: `json:"-"` must exclude a field from the header
+// and the cells together (the header used to emit a literal "-" column
+// while the cells still emitted the value, shifting every later column).
+func TestCSVSkipsDashFields(t *testing.T) {
+	type row struct {
+		Name    string  `json:"name"`
+		Secret  string  `json:"-"`
+		Dash    string  `json:"-,"` // encoding/json: a column actually named "-"
+		NoName  float64 `json:",omitempty"`
+		Untaged int
+	}
+	typ := reflect.TypeOf(row{})
+	fields := csvFields(typ)
+	header := csvHeader(typ, fields)
+	want := []string{"name", "-", "NoName", "Untaged"}
+	if !reflect.DeepEqual(header, want) {
+		t.Fatalf("header = %v, want %v", header, want)
+	}
+	cells := csvCells(reflect.ValueOf(row{Name: "n", Secret: "s", Dash: "d", NoName: 1.5, Untaged: 7}), fields)
+	if !reflect.DeepEqual(cells, []string{"n", "d", "1.5", "7"}) {
+		t.Fatalf("cells = %v; header and cells must agree on the field set", cells)
+	}
+	if len(cells) != len(header) {
+		t.Fatalf("cells (%d) and header (%d) diverge in width", len(cells), len(header))
+	}
+}
+
+// TestTournamentRoundTrip: tournament records must decode like every other
+// kind (DecodeRecord used to reject them, breaking remote streaming).
+func TestTournamentRoundTrip(t *testing.T) {
+	rec := New("tournament", KindTournament, "Policy tournament", "",
+		Options{Uops: 1000, Warmup: 100},
+		[]TournamentRow{
+			{Group: "SysmarkNT", Policy: "default", Rank: 1, Cycles: 100, Uops: 120,
+				CPI: 100.0 / 120, Speedup: 1, Base: 60, OrderingWait: 30, DataStall: 10,
+				FracBase: 0.6, FracOrdering: 0.3, FracData: 0.1},
+		})
+	rep := NewReport("tournament", rec.Options, []Record{rec})
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding a tournament report: %v", err)
+	}
+	if !reflect.DeepEqual(rep, decoded) {
+		t.Fatalf("decode changed the report:\norig: %+v\ndecoded: %+v", rep, decoded)
+	}
+	var again bytes.Buffer
+	if err := WriteJSON(&again, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding a decoded tournament report changed the bytes")
+	}
 }

@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
 	"loadsched/internal/ooo"
+	"loadsched/internal/store"
 	"loadsched/internal/trace"
 )
 
@@ -93,18 +95,48 @@ func describe(isNil bool, x any) (string, bool) {
 // It is safe for concurrent use and only ever grows; entries are small
 // (ooo.Stats values), and the number of distinct (machine, trace, length)
 // combinations a process explores bounds its size.
+//
+// A cache can additionally be backed by a persistent second level (see
+// SetStore): lookups then go memory → disk → compute, with single-flight
+// preserved across all three — concurrent requests for one key perform at
+// most one disk read or one simulation between them, and a computed result
+// is written through so later processes start warm.
 type Cache struct {
-	mu sync.Mutex
-	m  map[Key]*cacheEntry
+	mu   sync.Mutex
+	m    map[Key]*cacheEntry
+	disk *store.Store
 }
 
+// cacheEntry is one key's slot. done closes when the in-flight resolution
+// finishes; valid then says whether stats carries a real result. An entry
+// that resolves invalid (the compute panicked) is removed from the map
+// before done closes, so waiters and later requests retry instead of
+// consuming zero-value statistics.
 type cacheEntry struct {
 	done  chan struct{}
 	stats ooo.Stats
+	valid bool
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache { return &Cache{m: map[Key]*cacheEntry{}} }
+
+// SetStore attaches a persistent second-level store (nil detaches). Results
+// already memoized in memory are not flushed; new computations write
+// through. Call it before the cache is in use — typically right after
+// NewCache, or at CLI startup for the shared cache.
+func (c *Cache) SetStore(s *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disk = s
+}
+
+// Store returns the attached second-level store, or nil.
+func (c *Cache) Store() *store.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
 
 // shared is the process-wide cache used by pools from New.
 var shared = NewCache()
@@ -117,17 +149,21 @@ func Shared() *Cache { return shared }
 type outcome int
 
 const (
-	// computed: this caller ran the simulation (a memo miss).
+	// computed: this caller ran the simulation (a miss on every level).
 	computed outcome = iota
-	// memoHit: a completed entry was already present.
+	// memoHit: a completed in-memory entry was already present.
 	memoHit
 	// coalesced: an identical computation was in flight; this caller
 	// blocked on it instead of duplicating the work (single-flight).
 	coalesced
+	// diskHit: the persistent store served the result; no simulation ran.
+	diskHit
 )
 
 // Do returns the memoized result for k, computing it with compute on the
-// first request. compute runs at most once per key for the cache's lifetime.
+// first request. compute runs at most once per key for the cache's lifetime
+// — unless it panics, in which case the key's slot is released and a later
+// (or concurrently waiting) request runs compute again.
 func (c *Cache) Do(k Key, compute func() ooo.Stats) ooo.Stats {
 	st, _ := c.do(k, compute)
 	return st
@@ -135,24 +171,98 @@ func (c *Cache) Do(k Key, compute func() ooo.Stats) ooo.Stats {
 
 // do is Do plus the outcome classification.
 func (c *Cache) do(k Key, compute func() ooo.Stats) (ooo.Stats, outcome) {
-	c.mu.Lock()
-	e, hit := c.m[k]
-	if hit {
-		c.mu.Unlock()
-		select {
-		case <-e.done:
-			return e.stats, memoHit
-		default:
+	for {
+		c.mu.Lock()
+		if e, hit := c.m[k]; hit {
+			c.mu.Unlock()
+			how := coalesced
+			select {
+			case <-e.done:
+				how = memoHit
+			default:
+				<-e.done
+			}
+			if !e.valid {
+				// The in-flight resolution panicked and released the slot;
+				// compete to claim it again rather than serving zero values.
+				continue
+			}
+			return e.stats, how
 		}
-		<-e.done
-		return e.stats, coalesced
+		e := &cacheEntry{done: make(chan struct{})}
+		c.m[k] = e
+		disk := c.disk
+		c.mu.Unlock()
+		return c.fill(k, e, disk, compute)
 	}
-	e = &cacheEntry{done: make(chan struct{})}
-	c.m[k] = e
-	c.mu.Unlock()
-	defer close(e.done)
-	e.stats = compute()
-	return e.stats, computed
+}
+
+// fill resolves a freshly claimed in-flight entry: disk first (when a store
+// is attached), compute otherwise, writing computed results through. If
+// resolution panics, the deferred bookkeeping removes the entry from the
+// map BEFORE closing done — waiters observe an invalid entry and retry (the
+// first of them re-runs compute) while this caller's panic propagates; the
+// old behavior published zero-value stats as a permanent hit for the key.
+func (c *Cache) fill(k Key, e *cacheEntry, disk *store.Store, compute func() ooo.Stats) (ooo.Stats, outcome) {
+	defer func() {
+		if !e.valid {
+			c.mu.Lock()
+			delete(c.m, k)
+			c.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	if disk != nil {
+		if st, ok := diskGet(disk, k); ok {
+			e.stats, e.valid = st, true
+			return st, diskHit
+		}
+	}
+	st := compute()
+	e.stats, e.valid = st, true
+	if disk != nil {
+		// Best effort: a failed write-through degrades persistence, not
+		// correctness, and the store's WriteErrors counter surfaces it.
+		diskPut(disk, k, st)
+	}
+	return st, computed
+}
+
+// storeKeyVersion names the serialized-statistics schema inside store keys.
+// Bumping it (when ooo.Stats changes shape) orphans old entries as misses
+// instead of decoding them into the wrong fields.
+const storeKeyVersion = "loadsched.stats/v1"
+
+// StoreKey derives the canonical persistent-store key for a memo key: the
+// stats schema version plus the printed key struct. Key.Machine is already
+// the canonical machine description and trace.Profile is a pure value
+// struct, so the printed form is deterministic across processes.
+func StoreKey(k Key) string {
+	return fmt.Sprintf("%s|%+v", storeKeyVersion, k)
+}
+
+// diskGet loads and decodes one persisted result. Undecodable payloads are
+// treated as misses (the frame was intact, so this only happens if a future
+// schema slipped past the key version — recompute, then overwrite).
+func diskGet(s *store.Store, k Key) (ooo.Stats, bool) {
+	payload, ok := s.Get(StoreKey(k))
+	if !ok {
+		return ooo.Stats{}, false
+	}
+	var st ooo.Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return ooo.Stats{}, false
+	}
+	return st, true
+}
+
+// diskPut persists one computed result (best effort).
+func diskPut(s *store.Store, k Key, st ooo.Stats) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	s.Put(StoreKey(k), payload)
 }
 
 // Len reports the number of memoized simulations.

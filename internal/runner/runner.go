@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"loadsched/internal/ooo"
+	"loadsched/internal/store"
 	"loadsched/internal/trace"
 )
 
@@ -90,7 +91,8 @@ func (ep *enginePool) put(desc string, e *ooo.Engine) {
 
 // Counters is a point-in-time snapshot of a pool's observability counters:
 // what the pool actually did, as opposed to what it was asked for. Jobs
-// splits into Simulated + MemoHits + Coalesced + Uncached-simulated work;
+// splits into Simulated + MemoHits + DiskHits + Coalesced (Uncached jobs
+// are the subset of Simulated that ran outside the cache);
 // SimTime is wall time spent inside simulations summed over jobs, so it
 // exceeds elapsed time when workers overlap. The counts other than Jobs and
 // MapTasks can vary with timing (a concurrent duplicate lands as MemoHits
@@ -102,8 +104,11 @@ type Counters struct {
 	Jobs int64
 	// Simulated jobs actually ran an engine (memo misses plus Uncached).
 	Simulated int64
-	// MemoHits were served from a completed cache entry.
+	// MemoHits were served from a completed in-memory cache entry.
 	MemoHits int64
+	// DiskHits were served from the persistent result store (no simulation
+	// ran in this or any process; see Cache.SetStore).
+	DiskHits int64
 	// Coalesced waited on an identical in-flight simulation (single-flight).
 	Coalesced int64
 	// Uncached ran outside the cache: non-describable configs.
@@ -121,8 +126,8 @@ type Counters struct {
 
 // metrics is the pool-internal atomic counter block behind Counters.
 type metrics struct {
-	jobs, simulated, memoHits, coalesced, uncached, mapTasks, simNanos atomic.Int64
-	engineBuilds, engineReuses                                         atomic.Int64
+	jobs, simulated, memoHits, diskHits, coalesced, uncached, mapTasks, simNanos atomic.Int64
+	engineBuilds, engineReuses                                                   atomic.Int64
 }
 
 // Counters snapshots the pool's observability counters.
@@ -131,6 +136,7 @@ func (p *Pool) Counters() Counters {
 		Jobs:         p.m.jobs.Load(),
 		Simulated:    p.m.simulated.Load(),
 		MemoHits:     p.m.memoHits.Load(),
+		DiskHits:     p.m.diskHits.Load(),
 		Coalesced:    p.m.coalesced.Load(),
 		Uncached:     p.m.uncached.Load(),
 		MapTasks:     p.m.mapTasks.Load(),
@@ -146,6 +152,20 @@ func (p *Pool) CacheLen() int {
 		return 0
 	}
 	return p.cache.Len()
+}
+
+// DiskCounters snapshots the persistent store's counters when the pool's
+// cache is store-backed. The numbers are store-wide (the store is typically
+// shared process-wide), unlike the per-pool Counters.
+func (p *Pool) DiskCounters() (store.Counters, bool) {
+	if p.cache == nil {
+		return store.Counters{}, false
+	}
+	s := p.cache.Store()
+	if s == nil {
+		return store.Counters{}, false
+	}
+	return s.Counters(), true
 }
 
 // New returns a pool with the given concurrency bound that memoizes on the
@@ -200,6 +220,8 @@ func (p *Pool) Do(j Job) ooo.Stats {
 	switch how {
 	case memoHit:
 		p.m.memoHits.Add(1)
+	case diskHit:
+		p.m.diskHits.Add(1)
 	case coalesced:
 		p.m.coalesced.Add(1)
 	}

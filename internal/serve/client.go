@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"loadsched/internal/results"
+)
+
+// Client submits jobs to a loadsched serve endpoint and decodes the NDJSON
+// stream. The zero value is not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server's base URL ("host:port" is
+// accepted and normalized to http://host:port). The client streams — record
+// callbacks fire as lines arrive, not after the job completes — so no
+// request timeout is imposed; cancel via the server or process instead.
+func NewClient(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// Do submits one job and invokes onRecord for each streamed record in job
+// order. It returns the done-line counters on success; a server-reported
+// job failure, a rejected submission (429 queue-full included), and a
+// mid-stream disconnect are all errors.
+func (c *Client) Do(job Job, onRecord func(results.Record) error) (*results.RunnerCounters, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: encoding job: %w", err)
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return nil, fmt.Errorf("serve client: server busy (%s); retry after %ss", e.Error, resp.Header.Get("Retry-After"))
+		}
+		return nil, fmt.Errorf("serve client: %s", e.Error)
+	}
+
+	// The stream is line-framed JSON; a record line can carry a whole
+	// figure's rows, so the scanner buffer is generous.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line Line
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("serve client: bad stream line: %w", err)
+		}
+		switch {
+		case line.Error != "":
+			return nil, fmt.Errorf("serve client: job failed: %s", line.Error)
+		case line.Done != nil:
+			rc := line.Done.Runner
+			return &rc, nil
+		case line.Record != nil:
+			rec, err := results.DecodeRecord(line.Record)
+			if err != nil {
+				return nil, fmt.Errorf("serve client: decoding record: %w", err)
+			}
+			if onRecord != nil {
+				if err := onRecord(rec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve client: reading stream: %w", err)
+	}
+	return nil, fmt.Errorf("serve client: stream ended without a done line (server died mid-job?)")
+}

@@ -1,0 +1,373 @@
+// Package serve puts an HTTP job API in front of the simulation pool: the
+// first step from single-process tool to shared simulation service. A
+// loadsched serve process accepts figure/sweep/run jobs as JSON, executes
+// them on the process-wide memo cache (optionally backed by the persistent
+// result store, so a warm second sweep performs zero simulations), and
+// streams results/v1 records back chunk-by-chunk as they are produced.
+//
+// Protocol (POST /v1/jobs):
+//
+//	request  — a Job: {"command":"figure","figures":["7"],"options":{...}}
+//	response — application/x-ndjson, one Line per line:
+//	             {"record": <results/v1 record>}   (repeated, in job order)
+//	             {"error": "..."}                  (terminal, on failure)
+//	             {"done": {"runner": <counters>}}  (terminal, on success)
+//
+// Each job runs on its own runner.Pool sharing the server-wide cache, so
+// the done-line counters are per-job: a client can prove a warm run
+// performed zero simulations. Back-pressure is a bounded admission queue —
+// jobs beyond the executing + queued capacity are rejected with 429 and a
+// Retry-After header rather than piling onto the process.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/results"
+	"loadsched/internal/runner"
+	"loadsched/internal/trace"
+)
+
+// defaultSweepGroup mirrors the CLI's -group default for sweep jobs that
+// omit one.
+const defaultSweepGroup = trace.GroupSysmarkNT
+
+// Job is one simulation request. Command selects the work: "figure" (the
+// Figures list), "all" (every paper figure), "cpistack", "tournament", or
+// "sweep" (Sweep kind + Group). Options scale it exactly as the CLI flags
+// do; Uops must be positive and Warmup may be -1 for an explicitly empty
+// warmup region.
+type Job struct {
+	Command string          `json:"command"`
+	Figures []string        `json:"figures,omitempty"`
+	Sweep   string          `json:"sweep,omitempty"`
+	Group   string          `json:"group,omitempty"`
+	Options results.Options `json:"options"`
+}
+
+// Line is one NDJSON message of a job's response stream.
+type Line struct {
+	// Record is one results/v1 record, in job order.
+	Record json.RawMessage `json:"record,omitempty"`
+	// Error terminates the stream on failure (it may follow records).
+	Error string `json:"error,omitempty"`
+	// Done terminates the stream on success.
+	Done *Done `json:"done,omitempty"`
+}
+
+// Done is the success trailer: per-job pool counters (plus process-wide
+// store totals), so clients can verify cache behavior — e.g. that a warm
+// sweep simulated nothing.
+type Done struct {
+	Runner results.RunnerCounters `json:"runner"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds each job's simulation concurrency (0 = GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds simultaneously executing jobs (default 2).
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting behind the executing ones (default 8).
+	// A job arriving when the queue is full is rejected with 429.
+	QueueDepth int
+	// Cache is the memo cache jobs share; nil selects the process-wide
+	// shared cache. Attach a store to it for persistence.
+	Cache *runner.Cache
+	// Logf, when non-nil, receives one line per accepted job and per
+	// rejection (the operational log).
+	Logf func(format string, args ...any)
+}
+
+// Server executes jobs over HTTP. Construct with New.
+type Server struct {
+	cfg Config
+	// slots is the admission bound (executing + queued); running bounds
+	// actual execution. Both are counting semaphores.
+	slots   chan struct{}
+	running chan struct{}
+	// exec runs one validated job, emitting records as they are produced.
+	// It is a field so tests can substitute a controllable executor.
+	exec func(j Job, pool *runner.Pool, emit func(results.Record) error) error
+}
+
+// New returns a Server for the configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	} else if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		running: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.exec = runJob
+	return s
+}
+
+// Handler returns the HTTP handler: POST /v1/jobs plus /healthz and
+// /v1/status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStatus reports cache/store occupancy — ops visibility, not part of
+// the job protocol.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cache := s.cache()
+	st := struct {
+		CacheEntries int          `json:"cache_entries"`
+		Queued       int          `json:"queued"`
+		Running      int          `json:"running"`
+		Store        *storeStatus `json:"store,omitempty"`
+	}{
+		CacheEntries: cache.Len(),
+		Queued:       len(s.slots) - len(s.running),
+		Running:      len(s.running),
+	}
+	if disk := cache.Store(); disk != nil {
+		c := disk.Counters()
+		st.Store = &storeStatus{Dir: disk.Dir(), Hits: c.Hits, Misses: c.Misses,
+			Corrupt: c.Corrupt, Writes: c.Writes, WriteErrors: c.WriteErrors}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+type storeStatus struct {
+	Dir         string `json:"dir"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Corrupt     int64  `json:"corrupt"`
+	Writes      int64  `json:"writes"`
+	WriteErrors int64  `json:"write_errors"`
+}
+
+func (s *Server) cache() *runner.Cache {
+	if s.cfg.Cache != nil {
+		return s.cfg.Cache
+	}
+	return runner.Shared()
+}
+
+// httpError writes a JSON error body with the status code.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a job to /v1/jobs")
+		return
+	}
+	var job Job
+	if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding job: %v", err)
+		return
+	}
+	if err := Validate(job); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Admission: executing + queued jobs are bounded; beyond that the
+	// client is told when to come back rather than silently parked.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.logf("serve: job %s rejected: queue full", job.Command)
+		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return
+	}
+	defer func() { <-s.slots }()
+	select {
+	case s.running <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	defer func() { <-s.running }()
+
+	s.logf("serve: job %s figures=%v sweep=%s uops=%d start", job.Command, job.Figures, job.Sweep, job.Options.Uops)
+	start := time.Now()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(rec results.Record) error {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(Line{Record: raw}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	pool := runner.NewIsolated(s.cfg.Workers, s.cache())
+	err := s.run(job, pool, emit)
+	if err != nil {
+		s.logf("serve: job %s failed after %s: %v", job.Command, time.Since(start).Round(time.Millisecond), err)
+		enc.Encode(Line{Error: err.Error()})
+		return
+	}
+	c := Counters(pool)
+	s.logf("serve: job %s done in %s (%s)", job.Command, time.Since(start).Round(time.Millisecond), c)
+	enc.Encode(Line{Done: &Done{Runner: c}})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// run executes the job's executor with panic isolation: a panicking
+// simulation must take down the job, not the server.
+func (s *Server) run(job Job, pool *runner.Pool, emit func(results.Record) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	return s.exec(job, pool, emit)
+}
+
+// Validate checks a job before admission: known command, known figures and
+// sweep kind, sane options.
+func Validate(j Job) error {
+	if j.Options.Uops <= 0 {
+		return fmt.Errorf("serve: job needs positive options.uops, got %d", j.Options.Uops)
+	}
+	switch j.Command {
+	case "figure":
+		if len(j.Figures) == 0 {
+			return fmt.Errorf("serve: figure job names no figures")
+		}
+		for _, f := range j.Figures {
+			if !knownFigure(f) {
+				return fmt.Errorf("serve: unknown figure %q (want 5-12)", f)
+			}
+		}
+	case "all", "cpistack", "tournament":
+	case "sweep":
+		ok := false
+		for _, k := range experiments.SweepKinds {
+			if j.Sweep == k {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("serve: unknown sweep %q (want one of %v)", j.Sweep, experiments.SweepKinds)
+		}
+	default:
+		return fmt.Errorf("serve: unknown command %q (want figure | all | sweep | cpistack | tournament)", j.Command)
+	}
+	return nil
+}
+
+func knownFigure(f string) bool {
+	switch f {
+	case "5", "6", "7", "8", "9", "10", "11", "12":
+		return true
+	}
+	return false
+}
+
+// runJob is the real executor: it resolves the job to experiment runs and
+// emits each record as soon as it is complete, which is what lets large
+// multi-figure jobs stream instead of buffering.
+func runJob(j Job, pool *runner.Pool, emit func(results.Record) error) error {
+	o := experiments.Options{
+		Uops:           j.Options.Uops,
+		Warmup:         j.Options.Warmup,
+		TracesPerGroup: j.Options.TracesPerGroup,
+		Pool:           pool,
+	}
+	one := func(id string) error {
+		rec, err := experiments.FigureRecord(id, o)
+		if err != nil {
+			return err
+		}
+		return emit(rec)
+	}
+	switch j.Command {
+	case "figure":
+		for _, f := range j.Figures {
+			if err := one("fig" + f); err != nil {
+				return err
+			}
+		}
+	case "all":
+		for _, id := range experiments.FigureIDs {
+			if err := one(id); err != nil {
+				return err
+			}
+		}
+	case "cpistack", "tournament":
+		return one(j.Command)
+	case "sweep":
+		group := j.Group
+		if group == "" {
+			group = defaultSweepGroup
+		}
+		rec, err := experiments.SweepRecord(j.Sweep, group, o)
+		if err != nil {
+			return err
+		}
+		return emit(rec)
+	default:
+		return fmt.Errorf("serve: unknown command %q", j.Command)
+	}
+	return nil
+}
+
+// Counters snapshots a pool's counters in the results-envelope form, folding
+// in the persistent store's totals when the pool's cache is store-backed.
+// This is the one conversion both the CLI's -v path and the serve done-line
+// use.
+func Counters(pool *runner.Pool) results.RunnerCounters {
+	c := pool.Counters()
+	rc := results.RunnerCounters{
+		Jobs: c.Jobs, Simulated: c.Simulated, MemoHits: c.MemoHits,
+		DiskHits: c.DiskHits, Coalesced: c.Coalesced, Uncached: c.Uncached,
+		MapTasks:     c.MapTasks,
+		EngineBuilds: c.EngineBuilds, EngineReuses: c.EngineReuses,
+		SimMillis:    float64(c.SimTime) / float64(time.Millisecond),
+		CacheEntries: pool.CacheLen(),
+	}
+	if dc, ok := pool.DiskCounters(); ok {
+		rc.StoreHits = dc.Hits
+		rc.StoreWrites = dc.Writes
+		rc.StoreCorrupt = dc.Corrupt
+	}
+	return rc
+}

@@ -1,0 +1,195 @@
+// Package store is a content-addressed, disk-backed result store: the
+// persistent second level under the runner's in-process memo cache.
+//
+// Keys are arbitrary canonical strings (the runner uses the machine
+// description plus the trace-profile identity); the store addresses entries
+// by the SHA-256 of the key, sharded into two-hex-character subdirectories.
+// Each entry file carries a framed record — magic, key length, payload
+// length, a CRC-32C over key and payload, then the key and payload bytes —
+// so a truncated, corrupted or foreign file is always classified as a miss,
+// never surfaced as data and never an error: the caller recomputes and
+// rewrites. Writes go through a temp file plus rename, so concurrent
+// writers on one key are safe (readers observe either no entry or one
+// complete entry; last writer wins, and writers of the same key write the
+// same bytes by the caller's purity contract).
+//
+// The store never invalidates by itself: a key is expected to name its
+// value forever (the runner versions its keys, so schema changes orphan old
+// entries as misses rather than misreading them).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// magic identifies a store entry file and its framing version. Bump the
+// trailing digit if the frame layout ever changes.
+var magic = [4]byte{'L', 'S', 'R', '1'}
+
+// headerSize is the fixed frame prefix: magic, key length, payload length,
+// CRC-32C of key+payload.
+const headerSize = 4 + 4 + 4 + 4
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Counters is a point-in-time snapshot of a store's observability counters.
+// Corrupt entries (bad magic, short file, checksum or key mismatch) are
+// counted and also reported as misses: every Get is exactly a hit or a miss.
+type Counters struct {
+	// Hits and Misses classify Get calls.
+	Hits, Misses int64
+	// Corrupt counts Get calls that found an entry file but rejected it
+	// (truncation, checksum mismatch, foreign key). Each is also a miss.
+	Corrupt int64
+	// Writes counts entries persisted; WriteErrors counts Put calls that
+	// failed to persist (disk full, permissions).
+	Writes, WriteErrors int64
+}
+
+// Store is a content-addressed blob store rooted at one directory. It is
+// safe for concurrent use by any number of processes sharing the directory.
+type Store struct {
+	dir                                       string
+	hits, misses, corrupt, writes, writeFails atomic.Int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters snapshots the store's observability counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits: s.hits.Load(), Misses: s.misses.Load(), Corrupt: s.corrupt.Load(),
+		Writes: s.writes.Load(), WriteErrors: s.writeFails.Load(),
+	}
+}
+
+// Path returns the entry file an entry for key lives at (whether or not it
+// exists): <dir>/<hh>/<sha256-hex>, sharded on the first hash byte.
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h)
+}
+
+// Get returns the payload stored for key. Missing, truncated and corrupted
+// entries all report ok=false — the caller recomputes; corrupted files are
+// additionally removed (best effort) so the rewrite starts clean.
+func (s *Store) Get(key string) (payload []byte, ok bool) {
+	path := s.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Any unreadable entry is a miss; only a readable-but-invalid one
+		// counts as corruption.
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok = decodeFrame(data, key)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put persists payload under key, atomically replacing any previous entry.
+func (s *Store) Put(key string, payload []byte) error {
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.writeFails.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	// Write-to-temp plus rename keeps the entry atomic: concurrent readers
+	// see the old complete entry or the new one, never a partial write.
+	f, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		s.writeFails.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(encodeFrame(key, payload))
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		s.writeFails.Add(1)
+		return fmt.Errorf("store: put: %w", werr)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Len walks the store and counts complete-looking entry files (any name
+// except in-flight temp files). It is an ops/debugging helper, not a hot
+// path.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && d.Name()[0] != '.' {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// encodeFrame assembles one entry file's bytes.
+func encodeFrame(key string, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(key)+len(payload))
+	copy(buf[0:4], magic[:])
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(key)))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], payload)
+	crc := crc32.Checksum(buf[headerSize:], castagnoli)
+	binary.BigEndian.PutUint32(buf[12:16], crc)
+	return buf
+}
+
+// decodeFrame validates one entry file against the framing contract and the
+// expected key, returning the payload. Every violation — short header,
+// wrong magic, lengths that disagree with the file size, checksum mismatch,
+// or an entry recorded for a different key (a hash collision or a misplaced
+// file) — reports ok=false.
+func decodeFrame(data []byte, key string) (payload []byte, ok bool) {
+	if len(data) < headerSize || string(data[0:4]) != string(magic[:]) {
+		return nil, false
+	}
+	keyLen := binary.BigEndian.Uint32(data[4:8])
+	payLen := binary.BigEndian.Uint32(data[8:12])
+	want := binary.BigEndian.Uint32(data[12:16])
+	if uint64(headerSize)+uint64(keyLen)+uint64(payLen) != uint64(len(data)) {
+		return nil, false
+	}
+	if crc32.Checksum(data[headerSize:], castagnoli) != want {
+		return nil, false
+	}
+	if string(data[headerSize:headerSize+int(keyLen)]) != key {
+		return nil, false
+	}
+	return data[headerSize+int(keyLen):], true
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, payload := "machine|trace|uops=100", []byte(`{"Cycles":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Writes != 1 || c.Corrupt != 0 {
+		t.Fatalf("counters = %+v; want 1 hit, 1 miss, 1 write, 0 corrupt", c)
+	}
+}
+
+func TestEmptyPayloadAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	if err := s.Put("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A different Store over the same directory sees the entry: persistence
+	// is the whole point.
+	s2, _ := Open(dir)
+	got, ok := s2.Get("k")
+	if !ok || len(got) != 0 {
+		t.Fatalf("reopened Get = %q, %v; want empty payload, true", got, ok)
+	}
+}
+
+func TestDistinctKeysDoNotAlias(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Put("a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("key b hit key a's entry")
+	}
+	got, ok := s.Get("a")
+	if !ok || string(got) != "payload-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+}
+
+// corruptions enumerates the on-disk failure modes that must degrade to a
+// miss (with the corrupt counter advanced and the bad file removed), never
+// to wrong data or a crash.
+func TestCorruptEntriesDegradeToMisses(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(data []byte) []byte
+	}{
+		{"truncated header", func(d []byte) []byte { return d[:headerSize-2] }},
+		{"truncated payload", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"empty file", func(d []byte) []byte { return nil }},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"payload bit flip", func(d []byte) []byte { d[len(d)-1] ^= 0x40; return d }},
+		{"key bit flip", func(d []byte) []byte { d[headerSize] ^= 0x01; return d }},
+		{"length overflow", func(d []byte) []byte { d[8] = 0xff; return d }},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0xaa) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			key := "the-key"
+			if err := s.Put(key, []byte("the-payload")); err != nil {
+				t.Fatal(err)
+			}
+			path := s.Path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupted entry served as a hit: %q", got)
+			}
+			c := s.Counters()
+			if c.Corrupt != 1 || c.Misses != 1 {
+				t.Fatalf("counters = %+v; want 1 corrupt, 1 miss", c)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupted entry not removed: stat err = %v", err)
+			}
+			// The degradation path ends in recompute-and-rewrite; prove the
+			// slot is usable again.
+			if err := s.Put(key, []byte("the-payload")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || string(got) != "the-payload" {
+				t.Fatalf("rewrite after corruption failed: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// A foreign complete entry at the right path (e.g. a hash collision, or a
+// file copied between shards) must be rejected by the embedded-key check.
+func TestForeignEntryRejected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Put("other-key", []byte("other-payload")); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := os.ReadFile(s.Path("other-key"))
+	if err := os.MkdirAll(filepath.Dir(s.Path("key")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path("key"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("key"); ok {
+		t.Fatalf("foreign entry served as a hit: %q", got)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	const (
+		writers = 8
+		keys    = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				payload := []byte(fmt.Sprintf("payload-%d", k))
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+				}
+				if got, ok := s.Get(key); ok && string(got) != string(payload) {
+					t.Errorf("Get(%s) observed torn entry %q", key, got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		got, ok := s.Get(key)
+		if !ok || string(got) != fmt.Sprintf("payload-%d", k) {
+			t.Fatalf("after concurrent writers, Get(%s) = %q, %v", key, got, ok)
+		}
+	}
+	if s.Counters().Corrupt != 0 {
+		t.Fatalf("concurrent writers produced corrupt reads: %+v", s.Counters())
+	}
+}
+
+func TestLenCountsEntries(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+}
+
+func TestOpenRejectsUnusableDir(t *testing.T) {
+	// A regular file where the store directory should be.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open over a regular file succeeded")
+	}
+}

@@ -1,0 +1,90 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the serve job API and the persistent
+# result store, as a client sees them.
+#
+#   1. run a quick sweep locally (no store) — the reference bytes
+#   2. start `loadsched serve -store DIR`, run the same sweep via -remote
+#   3. RESTART the server on the same store directory (fresh process, so
+#      nothing can hide in the in-memory memo cache) and run the sweep again
+#   4. assert the post-restart job reported zero simulations and nonzero
+#      disk hits, and that every run's records are byte-identical
+#
+# The -v counter run and the byte-comparison runs are separate because -v
+# embeds the (timing-bearing) runner counters in the JSON envelope; the
+# first job after the restart is the -v one, since only the first can see
+# disk hits before the server's in-memory cache rewarms.
+#
+# Exits non-zero on any failure. Needs only a Go toolchain and a free port.
+set -eu
+
+WORK="$(mktemp -d /tmp/loadsched-serve-smoke.XXXXXX)"
+BIN="$WORK/loadsched"
+STORE="$WORK/store"
+SERVER_PID=""
+
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+SWEEP_FLAGS="-format json -uops 8000 -warmup 2000 -traces 1"
+
+echo "serve-smoke: building"
+go build -o "$BIN" ./cmd/loadsched
+
+start_server() {
+	"$BIN" serve -addr 127.0.0.1:0 -store "$STORE" 2>"$WORK/serve.log" &
+	SERVER_PID=$!
+	# The server logs its resolved address; poll until it appears and the
+	# health endpoint (reached through a tiny real job) answers.
+	ADDR=""
+	for _ in $(seq 1 50); do
+		ADDR="$(sed -n 's/.*listening on http:\/\///p' "$WORK/serve.log" | head -1)"
+		if [ -n "$ADDR" ] && "$BIN" sweep chtsize -remote "$ADDR" -format json -uops 100 -warmup 0 -traces 1 >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "serve-smoke: server never came up"
+	cat "$WORK/serve.log"
+	exit 1
+}
+
+stop_server() {
+	kill "$SERVER_PID" 2>/dev/null || true
+	wait "$SERVER_PID" 2>/dev/null || true
+	SERVER_PID=""
+}
+
+echo "serve-smoke: local reference run"
+# shellcheck disable=SC2086
+"$BIN" sweep chtsize $SWEEP_FLAGS >"$WORK/direct.json"
+
+echo "serve-smoke: remote cold run (populates the store)"
+start_server
+# shellcheck disable=SC2086
+"$BIN" sweep chtsize -remote "$ADDR" $SWEEP_FLAGS >"$WORK/cold.json"
+stop_server
+
+echo "serve-smoke: restarting the server on the same store"
+start_server
+# First post-restart job: counters must show everything came off disk.
+# shellcheck disable=SC2086
+"$BIN" sweep chtsize -remote "$ADDR" $SWEEP_FLAGS -v >/dev/null 2>"$WORK/warm.err"
+# Second job re-streams the records for the byte comparison.
+# shellcheck disable=SC2086
+"$BIN" sweep chtsize -remote "$ADDR" $SWEEP_FLAGS >"$WORK/warm.json"
+stop_server
+
+cmp "$WORK/direct.json" "$WORK/cold.json" || {
+	echo "serve-smoke: FAIL remote cold output differs from local run"; exit 1; }
+cmp "$WORK/cold.json" "$WORK/warm.json" || {
+	echo "serve-smoke: FAIL warm output differs from cold output"; exit 1; }
+
+grep -q "(0 simulated" "$WORK/warm.err" || {
+	echo "serve-smoke: FAIL warm run simulated something:"; cat "$WORK/warm.err"; exit 1; }
+grep -q "disk hits" "$WORK/warm.err" || {
+	echo "serve-smoke: FAIL warm run reported no disk hits:"; cat "$WORK/warm.err"; exit 1; }
+
+echo "serve-smoke: OK (warm restart: zero simulations, byte-identical records)"

@@ -1,0 +1,86 @@
+package loadsched
+
+// Warm-store determinism acceptance: a store-backed run that loads every
+// result from disk must emit byte-identical records to a cold run that
+// computed them — and must perform zero simulations doing it. This is the
+// contract that makes the persistent store safe to put under the paper's
+// figures: the disk layer can only change wall-clock time, never output.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"loadsched/internal/experiments"
+	"loadsched/internal/runner"
+	"loadsched/internal/store"
+)
+
+func TestWarmStoreDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	opts := experiments.Options{Uops: 8_000, Warmup: 2_000, TracesPerGroup: 1}
+	ids := []string{"fig7", "cpistack", "tournament"}
+
+	marshalRun := func(pool *runner.Pool) []byte {
+		o := opts
+		o.Pool = pool
+		var buf bytes.Buffer
+		for _, id := range ids {
+			rec, err := experiments.FigureRecord(id, o)
+			if err != nil {
+				t.Fatalf("FigureRecord(%s): %v", id, err)
+			}
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("marshal %s: %v", id, err)
+			}
+			buf.Write(raw)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+
+	// Reference: a plain cold run with no store anywhere near it.
+	direct := marshalRun(runner.NewIsolated(0, runner.NewCache()))
+
+	// Cold store-backed run: simulates everything, populates the store.
+	dir := t.TempDir()
+	openPool := func() *runner.Pool {
+		s, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		c := runner.NewCache()
+		c.SetStore(s)
+		return runner.NewIsolated(0, c)
+	}
+	coldPool := openPool()
+	cold := marshalRun(coldPool)
+	if !bytes.Equal(direct, cold) {
+		t.Fatalf("store-backed cold run differs from direct run")
+	}
+	cc := coldPool.Counters()
+	if cc.Simulated == 0 {
+		t.Fatalf("cold run simulated nothing: %+v", cc)
+	}
+	if dc, ok := coldPool.DiskCounters(); !ok || dc.Writes == 0 {
+		t.Fatalf("cold run wrote nothing to the store: %+v ok=%v", dc, ok)
+	}
+
+	// Warm run: a fresh cache over the same directory — as a restarted
+	// process would see it. Zero simulations, byte-identical records.
+	warmPool := openPool()
+	warm := marshalRun(warmPool)
+	if !bytes.Equal(direct, warm) {
+		t.Fatalf("warm-store records differ from the cold run's")
+	}
+	wc := warmPool.Counters()
+	if wc.Simulated != 0 {
+		t.Fatalf("warm run simulated %d jobs, want 0 (%+v)", wc.Simulated, wc)
+	}
+	if wc.DiskHits == 0 {
+		t.Fatalf("warm run reports no disk hits: %+v", wc)
+	}
+}
