@@ -7,17 +7,26 @@ GO ?= go
 
 # Benchmark knobs: the selection and iteration count feed bench-json and
 # bench-compare; BENCH_THRESHOLD is the regression gate in percent.
+# BENCHCOUNT repeats each benchmark and benchjson keeps every metric's
+# minimum across repeats; the minimum-of-3 default is what makes the
+# bench-compare gate usable on machines with noisy neighbours, where a
+# single draw can swing ±10% or more.
 BENCH ?= Fig|EngineCycle|TraceReplay|Tournament
-BENCHTIME ?= 2x
+BENCHTIME ?= 10x
+BENCHCOUNT ?= 3
 BENCH_OUT ?= BENCH_results.json
-BENCH_THRESHOLD ?= 10
+# The gate must clear the machine's same-tree noise floor: back-to-back
+# bench-json runs of one unchanged tree on a 1-vCPU shared host differ by
+# up to ~15% on the shortest benchmarks even with the min-of-3 settings
+# above, so a tighter threshold flags identical code.
+BENCH_THRESHOLD ?= 20
 
 # profile: which figure the `make profile` target captures, and where the
 # pprof data lands.
 PROFILE_FIG ?= 8
 PROFILE_DIR ?= /tmp
 
-.PHONY: all build test vet fmt-check race verify bench bench-json bench-compare determinism serve-smoke cover profile clean
+.PHONY: all build test vet fmt-check lint race verify bench bench-json bench-compare determinism serve-smoke cover profile clean
 
 all: build
 
@@ -36,6 +45,13 @@ fmt-check:
 	fi
 	@echo "fmt-check: OK"
 
+# lint: the static-analysis gate — gofmt formatting plus every go vet
+# analyzer. The repo is dependency-free by policy, so the gate uses only
+# the toolchain's own analyzers (no staticcheck/golangci-lint binaries to
+# install or version-pin); CI runs this as its own job.
+lint: fmt-check vet
+	@echo "lint: OK"
+
 race:
 	$(GO) test -race ./...
 
@@ -47,7 +63,7 @@ bench:
 # data points.
 bench-json:
 	$(GO) build -o /tmp/loadsched-benchjson ./cmd/benchjson
-	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem -run='^$$' | /tmp/loadsched-benchjson -o $(BENCH_OUT)
+	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -run='^$$' | /tmp/loadsched-benchjson -o $(BENCH_OUT)
 
 # bench-compare: run the benchmarks fresh and diff them against the
 # committed baseline; exits non-zero on a regression beyond

@@ -8,13 +8,15 @@
 //
 // Positive deltas are regressions (more time, more bytes, more
 // allocations); negative deltas are improvements. Benchmarks present in
-// only one snapshot are reported but never gate.
+// only one snapshot are reported but never gate. A final summary line
+// prints the geometric-mean ns/op delta across all compared benchmarks.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -71,6 +73,9 @@ func main() {
 	for _, name := range rep.Removed {
 		fmt.Printf("%-40s %-12s %14s %14s %9s\n", name, "-", "-", "(absent)", "gone")
 	}
+	if pct, n := rep.NsGeoMeanDelta(); n > 0 {
+		fmt.Printf("geomean ns/op delta: %+.1f%% over %d benchmarks\n", pct, n)
+	}
 	if len(rep.Added) > 0 || len(rep.Removed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: note: %d benchmark(s) only in new, %d only in old — not gated\n",
 			len(rep.Added), len(rep.Removed))
@@ -96,6 +101,28 @@ type Row struct {
 type Report struct {
 	Rows           []Row
 	Added, Removed []string
+}
+
+// NsGeoMeanDelta summarizes the whole comparison in one number: the
+// geometric mean of new/old ns/op ratios across every benchmark compared,
+// as a percent change (positive = slower overall), plus how many
+// benchmarks entered the mean. The geometric mean weights a 2× speedup on
+// a microsecond bench and on a second-long sweep equally, which is the
+// right aggregate for "did this change make the suite faster". Benchmarks
+// with a non-positive side are excluded (count 0 when none qualify).
+func (r Report) NsGeoMeanDelta() (pct float64, count int) {
+	logSum := 0.0
+	for _, row := range r.Rows {
+		if row.Unit != "ns/op" || row.Old <= 0 || row.New <= 0 {
+			continue
+		}
+		logSum += math.Log(row.New / row.Old)
+		count++
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return (math.Exp(logSum/float64(count)) - 1) * 100, count
 }
 
 // AnyRegressed reports whether any row crossed the threshold.

@@ -84,3 +84,36 @@ func TestUnionNamesSortedAndDeduped(t *testing.T) {
 		}
 	}
 }
+
+func TestNsGeoMeanDelta(t *testing.T) {
+	// A 2x regression and a 2x improvement cancel exactly under the
+	// geometric mean; B/op rows and non-positive sides never enter.
+	rep := Report{Rows: []Row{
+		{Name: "A", Unit: "ns/op", Old: 100, New: 200},
+		{Name: "B", Unit: "ns/op", Old: 200, New: 100},
+		{Name: "C", Unit: "B/op", Old: 10, New: 1000},
+		{Name: "D", Unit: "ns/op", Old: 0, New: 50},
+	}}
+	pct, n := rep.NsGeoMeanDelta()
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	if pct < -1e-9 || pct > 1e-9 {
+		t.Errorf("pct = %v, want 0 (2x up and 2x down cancel)", pct)
+	}
+
+	// Uniform halving reports -50%.
+	rep = Report{Rows: []Row{
+		{Name: "A", Unit: "ns/op", Old: 100, New: 50},
+		{Name: "B", Unit: "ns/op", Old: 80, New: 40},
+	}}
+	pct, n = rep.NsGeoMeanDelta()
+	if n != 2 || pct > -49.999 || pct < -50.001 {
+		t.Errorf("pct, n = %v, %d, want -50%% over 2", pct, n)
+	}
+
+	// No qualifying rows: count 0.
+	if _, n := (Report{}).NsGeoMeanDelta(); n != 0 {
+		t.Errorf("empty report count = %d, want 0", n)
+	}
+}

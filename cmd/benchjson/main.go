@@ -7,6 +7,13 @@
 // and writes {schema, benchmarks:[{name, procs, runs, metrics{unit:value}}]}.
 //
 //	go test -bench=Fig -benchtime=2x -run='^$' -benchmem | benchjson -o BENCH_results.json
+//
+// Repeated lines for one benchmark (`-count=N`) collapse into a single
+// entry holding each metric's minimum. The minimum is the right aggregate
+// for a snapshot: scheduler and cache interference only ever inflates a
+// measurement, so the smallest repeat is the closest to the code's true
+// cost, and comparing minima keeps benchdiff's gate meaningful on noisy
+// shared machines.
 package main
 
 import (
@@ -28,7 +35,8 @@ type Benchmark struct {
 	Name string `json:"name"`
 	// Procs is the GOMAXPROCS suffix (1 when absent).
 	Procs int `json:"procs"`
-	// Runs is the iteration count the testing package settled on.
+	// Runs is the iteration count the testing package settled on, summed
+	// across -count repetitions.
 	Runs int64 `json:"runs"`
 	// Metrics maps a unit (ns/op, B/op, allocs/op, or a custom
 	// b.ReportMetric unit like "AC%") to its value.
@@ -97,12 +105,20 @@ func main() {
 	flag.Parse()
 
 	snap := Snapshot{Schema: SchemaVersion, Meta: captureMeta()}
+	byName := map[string]int{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the raw output through for the terminal
-		if b, ok := parseLine(line); ok {
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if i, seen := byName[b.Name]; seen {
+			merge(&snap.Benchmarks[i], b)
+		} else {
+			byName[b.Name] = len(snap.Benchmarks)
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}
 	}
@@ -120,6 +136,18 @@ func main() {
 		fail("writing %s: %v", *out, err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// merge folds a repeat measurement of the same benchmark into the kept
+// entry: each metric takes the minimum of the two runs (a metric present in
+// only one repeat is kept as-is), and the iteration counts accumulate.
+func merge(into *Benchmark, b Benchmark) {
+	into.Runs += b.Runs
+	for unit, v := range b.Metrics {
+		if kept, ok := into.Metrics[unit]; !ok || v < kept {
+			into.Metrics[unit] = v
+		}
+	}
 }
 
 func fail(format string, a ...any) {

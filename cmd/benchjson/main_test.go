@@ -79,3 +79,39 @@ func TestParseLineRejectsNonBenchmarks(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeTakesMetricMinima(t *testing.T) {
+	a, ok := parseLine("BenchmarkEngineCycle-8   10   1500000 ns/op   64 B/op   2 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected first repeat")
+	}
+	b, ok := parseLine("BenchmarkEngineCycle-8   10   1200000 ns/op   80 B/op   2 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected second repeat")
+	}
+	merge(&a, b)
+	if a.Runs != 20 {
+		t.Errorf("Runs = %d, want iteration counts summed to 20", a.Runs)
+	}
+	if got := a.Metrics["ns/op"]; got != 1200000 {
+		t.Errorf("ns/op = %v, want the faster repeat 1200000", got)
+	}
+	if got := a.Metrics["B/op"]; got != 64 {
+		t.Errorf("B/op = %v, want per-metric minimum 64, not the faster repeat's 80", got)
+	}
+	if got := a.Metrics["allocs/op"]; got != 2 {
+		t.Errorf("allocs/op = %v, want 2", got)
+	}
+}
+
+func TestMergeKeepsOneSidedMetrics(t *testing.T) {
+	a, _ := parseLine("BenchmarkFig7-8   2   100 ns/op   1.5 speedup")
+	b, _ := parseLine("BenchmarkFig7-8   2   90 ns/op")
+	merge(&a, b)
+	if got := a.Metrics["speedup"]; got != 1.5 {
+		t.Errorf("speedup = %v, want the only measurement 1.5 kept", got)
+	}
+	if got := a.Metrics["ns/op"]; got != 90 {
+		t.Errorf("ns/op = %v, want 90", got)
+	}
+}

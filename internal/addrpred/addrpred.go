@@ -11,17 +11,11 @@
 // point the paper quotes: ≈70% of loads predicted with ≈98% accuracy.
 package addrpred
 
-import "loadsched/internal/predict"
+// confMax is the saturation value of the 2-bit per-row confidence counter.
+const confMax = 3
 
-// entry is one predictor row.
-type entry struct {
-	tag      uint64
-	valid    bool
-	lastAddr uint64
-	stride   int64
-	conf     predict.SatCounter
-	lru      uint64
-}
+// confInit is the counter's initial (weakly-unconfident) value.
+const confInit = 1
 
 // Prediction is a predicted effective address.
 type Prediction struct {
@@ -34,12 +28,20 @@ type Prediction struct {
 	Hit bool
 }
 
-// Predictor is a set-associative last-address + stride predictor. The ways
-// of all sets live in one flat backing slice (set s occupies
-// entries[s*ways : (s+1)*ways]) so building a predictor is a single
-// allocation and resetting it never regrows the heap.
+// Predictor is a set-associative last-address + stride predictor in
+// structure-of-arrays layout: each row field is its own flat slice, with
+// set s's ways occupying indexes [s*ways, (s+1)*ways). A lookup walks the
+// set's slice of the dense tag/valid arrays without touching address or
+// stride state, and building or resetting the predictor never regrows the
+// heap.
 type Predictor struct {
-	entries []entry
+	tag      []uint64
+	valid    []bool
+	lastAddr []uint64
+	stride   []int64
+	conf     []uint8
+	lru      []uint64
+
 	numSets int
 	ways    int
 	tick    uint64
@@ -55,8 +57,14 @@ func New(entries, ways int) *Predictor {
 		panic("addrpred: bad geometry")
 	}
 	return &Predictor{
-		entries: make([]entry, entries), numSets: entries / ways,
-		ways: ways, ConfThreshold: 2,
+		tag:      make([]uint64, entries),
+		valid:    make([]bool, entries),
+		lastAddr: make([]uint64, entries),
+		stride:   make([]int64, entries),
+		conf:     make([]uint8, entries),
+		lru:      make([]uint64, entries),
+		numSets:  entries / ways,
+		ways:     ways, ConfThreshold: 2,
 	}
 }
 
@@ -65,76 +73,83 @@ func (p *Predictor) index(ip uint64) (uint64, uint64) {
 	return v % uint64(p.numSets), v / uint64(p.numSets)
 }
 
-// set returns the ways of one set as a sub-slice of the flat backing array.
-func (p *Predictor) set(s uint64) []entry {
-	return p.entries[int(s)*p.ways : int(s+1)*p.ways]
-}
-
-func (p *Predictor) find(ip uint64) *entry {
+// find returns the row index holding ip, or -1.
+func (p *Predictor) find(ip uint64) int {
 	set, tag := p.index(ip)
-	ways := p.set(set)
-	for i := range ways {
-		e := &ways[i]
-		if e.valid && e.tag == tag {
-			return e
+	base := int(set) * p.ways
+	for i := base; i < base+p.ways; i++ {
+		if p.valid[i] && p.tag[i] == tag {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Predict returns the address prediction for the load at ip.
 func (p *Predictor) Predict(ip uint64) Prediction {
-	e := p.find(ip)
-	if e == nil {
+	i := p.find(ip)
+	if i < 0 {
 		return Prediction{}
 	}
 	return Prediction{
-		Addr:      uint64(int64(e.lastAddr) + e.stride),
-		Confident: e.conf.Value() >= p.ConfThreshold,
+		Addr:      uint64(int64(p.lastAddr[i]) + p.stride[i]),
+		Confident: p.conf[i] >= p.ConfThreshold,
 		Hit:       true,
 	}
 }
 
 // Update trains the predictor with the load's actual address.
 func (p *Predictor) Update(ip, addr uint64) {
-	e := p.find(ip)
-	if e == nil {
+	i := p.find(ip)
+	if i < 0 {
 		set, tag := p.index(ip)
-		ways := p.set(set)
-		victim := 0
-		for i := range ways {
-			if !ways[i].valid {
-				victim = i
+		base := int(set) * p.ways
+		victim := base
+		for w := base; w < base+p.ways; w++ {
+			if !p.valid[w] {
+				victim = w
 				break
 			}
-			if ways[i].lru < ways[victim].lru {
-				victim = i
+			if p.lru[w] < p.lru[victim] {
+				victim = w
 			}
 		}
 		p.tick++
-		ways[victim] = entry{
-			tag: tag, valid: true, lastAddr: addr,
-			conf: predict.NewSatCounter(2), lru: p.tick,
-		}
+		p.tag[victim] = tag
+		p.valid[victim] = true
+		p.lastAddr[victim] = addr
+		p.stride[victim] = 0
+		p.conf[victim] = confInit
+		p.lru[victim] = p.tick
 		return
 	}
 	p.tick++
-	e.lru = p.tick
-	stride := int64(addr) - int64(e.lastAddr)
-	if stride == e.stride {
-		e.conf.Inc()
+	p.lru[i] = p.tick
+	stride := int64(addr) - int64(p.lastAddr[i])
+	if stride == p.stride[i] {
+		if p.conf[i] < confMax {
+			p.conf[i]++
+		}
 	} else {
 		// A broken stride costs two: drop confidence fast so irregular
 		// loads abstain.
-		e.conf.Dec()
-		e.conf.Dec()
-		e.stride = stride
+		if p.conf[i] > 2 {
+			p.conf[i] -= 2
+		} else {
+			p.conf[i] = 0
+		}
+		p.stride[i] = stride
 	}
-	e.lastAddr = addr
+	p.lastAddr[i] = addr
 }
 
 // Reset clears the table in place, LRU clock included.
 func (p *Predictor) Reset() {
-	clear(p.entries)
+	clear(p.tag)
+	clear(p.valid)
+	clear(p.lastAddr)
+	clear(p.stride)
+	clear(p.conf)
+	clear(p.lru)
 	p.tick = 0
 }

@@ -34,32 +34,42 @@ func SweepTable(kind, group string, o Options) (stats.Table, error) {
 	traces := o.traces(g)
 	pool := o.pool()
 
-	// runPoint executes one machine point over every trace concurrently (the
-	// pool's cache reuses any point an earlier row already simulated) and
-	// geo-means the IPCs. mut must be a pure config mutation: it is re-run
+	// The sweep is built in two passes so the whole design space executes as
+	// ONE pool.Run: registration walks the axis and appends every point's
+	// jobs (one per trace) to a single list, then the batch runner groups
+	// the cross-product by workload and steps same-trace engines in
+	// lockstep. point() closures read the shared result slice afterwards,
+	// geo-meaning their span, so the rendered rows are byte-identical to
+	// the old one-Run-per-point structure.
+	var jobs []runner.Job
+	var sts []ooo.Stats
+	// addPoint registers one machine point over every trace and returns its
+	// geomean-IPC thunk. mut must be a pure config mutation: it is re-run
 	// for every trace.
-	var t stats.Table
-	runPoint := func(mut func(*ooo.Config)) float64 {
-		jobs := make([]runner.Job, len(traces))
-		for i, p := range traces {
-			jobs[i] = o.job(func() ooo.Config {
+	addPoint := func(mut func(*ooo.Config)) func() float64 {
+		off := len(jobs)
+		for _, p := range traces {
+			jobs = append(jobs, o.job(func() ooo.Config {
 				cfg := ooo.DefaultConfig()
 				mut(&cfg)
 				return cfg
-			}, p)
+			}, p))
 		}
-		sts := pool.Run(jobs)
-		ipc := make([]float64, len(sts))
-		for i, st := range sts {
-			ipc[i] = st.IPC()
+		return func() float64 {
+			ipc := make([]float64, len(traces))
+			for i := range ipc {
+				ipc[i] = sts[off+i].IPC()
+			}
+			m, dropped := stats.GeoMeanCounted(ipc)
+			if dropped > 0 {
+				fmt.Fprintf(os.Stderr, "loadsched: sweep %s: %d of %d traces produced non-positive IPC, excluded from the mean\n",
+					kind, dropped, len(ipc))
+			}
+			return m
 		}
-		m, dropped := stats.GeoMeanCounted(ipc)
-		if dropped > 0 {
-			fmt.Fprintf(os.Stderr, "loadsched: sweep %s: %d of %d traces produced non-positive IPC, excluded from the mean\n",
-				kind, dropped, len(ipc))
-		}
-		return m
 	}
+	var t stats.Table
+	var render []func()
 	switch kind {
 	case "window":
 		t = stats.Table{
@@ -67,15 +77,19 @@ func SweepTable(kind, group string, o Options) (stats.Table, error) {
 			Columns: []string{"window", "Traditional", "Exclusive", "Perfect", "Excl speedup"},
 		}
 		for _, w := range []int{8, 16, 32, 64, 128} {
-			trad := runPoint(func(c *ooo.Config) { c.Window = w })
-			excl := runPoint(func(c *ooo.Config) {
+			trad := addPoint(func(c *ooo.Config) { c.Window = w })
+			excl := addPoint(func(c *ooo.Config) {
 				c.Window = w
 				c.Scheme = memdep.Exclusive
 				c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
 			})
-			perf := runPoint(func(c *ooo.Config) { c.Window = w; c.Scheme = memdep.Perfect })
-			t.AddRow(fmt.Sprintf("%d", w), stats.F3(trad), stats.F3(excl), stats.F3(perf),
-				stats.F3(excl/trad))
+			perf := addPoint(func(c *ooo.Config) { c.Window = w; c.Scheme = memdep.Perfect })
+			w := w
+			render = append(render, func() {
+				tv, ev := trad(), excl()
+				t.AddRow(fmt.Sprintf("%d", w), stats.F3(tv), stats.F3(ev), stats.F3(perf()),
+					stats.F3(ev/tv))
+			})
 		}
 	case "penalty":
 		t = stats.Table{
@@ -84,35 +98,49 @@ func SweepTable(kind, group string, o Options) (stats.Table, error) {
 			Columns: []string{"penalty", "Opportunistic", "Inclusive", "Perfect"},
 		}
 		for _, pen := range []int{0, 4, 8, 16, 32} {
-			base := runPoint(func(c *ooo.Config) { c.CollisionPenalty = pen })
-			row := []string{fmt.Sprintf("%d", pen)}
+			base := addPoint(func(c *ooo.Config) { c.CollisionPenalty = pen })
+			var pts []func() float64
 			for _, s := range []memdep.Scheme{memdep.Opportunistic, memdep.Inclusive, memdep.Perfect} {
-				v := runPoint(func(c *ooo.Config) {
+				pts = append(pts, addPoint(func(c *ooo.Config) {
 					c.CollisionPenalty = pen
 					c.Scheme = s
 					if s.UsesCHT() {
 						c.CHT = memdep.NewFullCHT(2048, 4, 2, true)
 					}
-				})
-				row = append(row, stats.F3(v/base))
+				}))
 			}
-			t.AddRow(row...)
+			pen := pen
+			render = append(render, func() {
+				b := base()
+				row := []string{fmt.Sprintf("%d", pen)}
+				for _, pt := range pts {
+					row = append(row, stats.F3(pt()/b))
+				}
+				t.AddRow(row...)
+			})
 		}
 	case "chtsize":
 		t = stats.Table{
 			Title:   fmt.Sprintf("Sweep — Inclusive-scheme speedup vs Full-CHT size (%s)", group),
 			Columns: []string{"entries", "speedup"},
 		}
-		base := runPoint(func(c *ooo.Config) {})
+		base := addPoint(func(c *ooo.Config) {})
 		for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
-			v := runPoint(func(c *ooo.Config) {
+			v := addPoint(func(c *ooo.Config) {
 				c.Scheme = memdep.Inclusive
 				c.CHT = memdep.NewFullCHT(n, 4, 2, true)
 			})
-			t.AddRow(fmt.Sprintf("%d", n), stats.F3(v/base))
+			n := n
+			render = append(render, func() {
+				t.AddRow(fmt.Sprintf("%d", n), stats.F3(v()/base()))
+			})
 		}
 	default:
 		return stats.Table{}, fmt.Errorf("experiments: unknown sweep %q (want window | penalty | chtsize | bankpolicies)", kind)
+	}
+	sts = pool.Run(jobs)
+	for _, r := range render {
+		r()
 	}
 	return t, nil
 }

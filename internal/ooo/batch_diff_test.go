@@ -1,0 +1,152 @@
+package ooo_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"loadsched/internal/ooo"
+	"loadsched/internal/runner"
+	"loadsched/internal/trace"
+)
+
+// Differential tests for batched lockstep execution: running a job under
+// Pool.RunBatch — whatever unit its grouping lands it in — must be
+// observably absent, producing Stats byte-identical to the same machine
+// running alone. The batch runner varies only WHEN each engine's StepRun
+// slices execute, never what they compute, so any divergence here is a
+// shared-state leak between unit mates.
+
+// soloStats runs each job alone on a fresh engine, the reference the
+// batched runs must reproduce exactly.
+func soloStats(jobs []runner.Job) []ooo.Stats {
+	out := make([]ooo.Stats, len(jobs))
+	for i, j := range jobs {
+		cfg := j.Build()
+		cfg.WarmupUops = j.Warmup
+		out[i] = ooo.NewEngine(cfg, trace.Replay(j.Profile)).Run(j.Uops)
+	}
+	return out
+}
+
+// TestRunBatchMatchesSoloDiff extends the scheduler differential to the
+// batch runner: randomized machines over mixed workloads, executed at
+// worker counts that produce unit sizes of 1, 3 and a full same-workload
+// sweep, must match solo runs per engine.
+func TestRunBatchMatchesSoloDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xba7c4))
+	profiles := ooo.DiffProfilesForBatch(rng, 2)
+	const warmup, uops = 1000, 4000
+
+	// Six machines on profile 0 (one full-sweep unit at workers=1), three
+	// on profile 1; a couple of jobs also run the naive reference
+	// scheduler so both dispatch paths batch.
+	var jobs []runner.Job
+	for i := 0; i < 9; i++ {
+		build := ooo.DiffConfigForBatch(rng)
+		naive := i%4 == 1
+		prof := profiles[0]
+		if i >= 6 {
+			prof = profiles[1]
+		}
+		jobs = append(jobs, runner.Job{
+			Build: func() ooo.Config {
+				cfg := build()
+				cfg.NaiveSchedule = naive
+				return cfg
+			},
+			Profile: prof,
+			Uops:    uops,
+			Warmup:  warmup,
+		})
+	}
+	solo := soloStats(jobs)
+
+	// workers=1 → units of 6 and 3; workers=3 → units of 3; workers=9 →
+	// every engine alone in its unit.
+	for _, workers := range []int{1, 3, 9} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			got := runner.NewIsolated(workers, nil).RunBatch(jobs)
+			for i := range jobs {
+				if got[i] != solo[i] {
+					t.Errorf("job %d diverged under batch (workers=%d)\nbatch: %+v\nsolo:  %+v",
+						i, workers, got[i], solo[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchCoincidentEdgeCases extends the ready-list fast-forward edge
+// cases: machines that pile wakeups, deferred miss detections and bubble
+// expiries onto shared cycles (the coincident workload), batched into one
+// lockstep unit, must match solo — window boundaries may never split or
+// reorder an engine's coincident events.
+func TestRunBatchCoincidentEdgeCases(t *testing.T) {
+	prof := ooo.CoincidentProfileForBatch()
+	narrow := func() ooo.Config {
+		cfg := ooo.DefaultConfig()
+		cfg.FetchWidth, cfg.RetireWidth = 1, 1
+		cfg.Window, cfg.RenamePool = 8, 8
+		cfg.IntUnits, cfg.MemUnits, cfg.STDPorts = 1, 1, 1
+		cfg.MissRecoveryBubble = 6
+		cfg.MissReplayPenalty = 8
+		return cfg
+	}
+	const warmup, uops = 500, 3000
+	var jobs []runner.Job
+	for _, naive := range []bool{false, true} {
+		for _, bubble := range []int{0, 6} {
+			naive, bubble := naive, bubble
+			jobs = append(jobs, runner.Job{
+				Build: func() ooo.Config {
+					cfg := narrow()
+					cfg.NaiveSchedule = naive
+					cfg.MissRecoveryBubble = bubble
+					return cfg
+				},
+				Profile: prof,
+				Uops:    uops,
+				Warmup:  warmup,
+			})
+		}
+	}
+	solo := soloStats(jobs)
+	got := runner.NewIsolated(1, nil).RunBatch(jobs) // one unit of 4
+	for i := range jobs {
+		if got[i] != solo[i] {
+			t.Errorf("coincident job %d diverged under lockstep batch\nbatch: %+v\nsolo:  %+v",
+				i, got[i], solo[i])
+		}
+	}
+}
+
+// TestRunBatchDedupsInUnit pins the in-unit coalescing path: identical
+// describable jobs landing in one unit must simulate once (the followers
+// ride the owner's engine) and still return per-job results identical to
+// solo execution.
+func TestRunBatchDedupsInUnit(t *testing.T) {
+	prof := ooo.CoincidentProfileForBatch()
+	job := runner.Job{
+		Build:   ooo.DefaultConfig,
+		Profile: prof,
+		Uops:    3000,
+		Warmup:  500,
+	}
+	jobs := []runner.Job{job, job, job, job}
+	solo := soloStats(jobs[:1])
+	p := runner.NewIsolated(1, runner.NewCache()) // one unit of 4, memoized
+	got := p.RunBatch(jobs)
+	for i := range got {
+		if got[i] != solo[0] {
+			t.Errorf("deduped job %d diverged: %+v != %+v", i, got[i], solo[0])
+		}
+	}
+	c := p.Counters()
+	if c.Simulated != 1 {
+		t.Errorf("Simulated = %d, want 1 (in-unit dedup)", c.Simulated)
+	}
+	if c.Coalesced != 3 {
+		t.Errorf("Coalesced = %d, want 3 (followers)", c.Coalesced)
+	}
+}

@@ -11,12 +11,19 @@ import (
 //
 //	frontend.go  fetch + rename (branch stall, producer tracking, MOB entry)
 //	schedule.go  dispatch walk, port allocation, replay debt
-//	ready.go     event-driven core: wakeup lists, ready set, fast-forward
+//	ready.go     event-driven core: wakeup links, ready set, fast-forward
 //	memory.go    MOB queries, load classification, collision resolution
 //	execute.go   load execution: cache access, latency speculation, penalties
 //	retire.go    in-order retirement, stat finalization, predictor training
 //	policy.go    the SpeculationPolicy seam the stages consult
 //	cpi.go       per-cycle stall attribution (the CPI stack)
+//
+// Hot state is laid out structure-of-arrays: the ROB is robState — parallel
+// slices indexed by rename-pool slot, with per-slot booleans packed into one
+// flag word and wakeup lists kept as intrusive index links instead of
+// per-entry slices — and the MOB is mobState, a ring of parallel arrays.
+// Stage code addresses everything by slot index, so the working set per
+// field is one dense array and slot reuse never allocates.
 //
 // Every speculation decision flows through the SpeculationPolicy seam, so
 // stage code contains machine mechanics only.
@@ -39,80 +46,192 @@ type LoadEvent struct {
 	Conflicting bool
 }
 
-// entry is one in-flight uop in the instruction window.
-type entry struct {
-	u     uop.UOp
-	valid bool
-	// inRS marks residence in the scheduling window (entered at rename,
+// Per-slot ROB flag bits (robState.flags).
+const (
+	fValid uint16 = 1 << iota
+	// fInRS marks residence in the scheduling window (entered at rename,
 	// left at dispatch).
-	inRS       bool
-	dispatched bool
-	done       bool
-	doneCycle  int64
+	fInRS
+	fDispatched
+	fDone
+	// fBlockingBranch marks the mispredicted branch the front end stalls on.
+	fBlockingBranch
+	// Load-only bits.
+	fClassified
+	fConflicting
+	fColliding
+	fPredHit
+	fActualHit
+	fCollided // paid the collision penalty
+)
 
-	// Register dependencies: rob index + seq guard of each source producer
+// robState is the instruction window in structure-of-arrays layout: one
+// parallel slice per field, indexed by rename-pool slot. Compared to a slice
+// of per-entry structs, a stage touching one field (the dispatch walk reads
+// ages, retire reads done cycles) streams through one dense array instead of
+// striding across fat records, and clearing a slot at rename writes a few
+// words instead of copying a struct.
+type robState struct {
+	u     []uop.UOp
+	flags []uint16
+
+	doneCycle []int64
+
+	// Register dependencies: slot index + seq guard of each source producer
 	// (-1 when the value is already architectural).
-	src1Prod, src2Prod int32
-	src1Seq, src2Seq   int64
+	src1Prod, src2Prod []int32
+	src1Seq, src2Seq   []int64
 
-	// blockingBranch marks the mispredicted branch the front end stalls on.
-	blockingBranch bool
-
-	// Event-driven scheduling state (see ready.go). waiters lists the rob
-	// indexes of register consumers to wake when this entry completes; its
-	// backing array is retained across slot reuse. nwaiting counts this
-	// entry's producers whose completion time is still unknown; readyAt
-	// accumulates the latest known producer completion and is final once
-	// nwaiting reaches 0. age orders the ready set by rename order (robust
-	// against sources that do not populate Seq).
-	waiters  []int32
-	nwaiting int8
-	readyAt  int64
-	age      int64
+	// Event-driven scheduling state (see ready.go), as intrusive index
+	// links: waitHead[p] heads producer p's wakeup list (-1 = empty); list
+	// nodes are identified as idx<<1|src — each slot owns exactly two
+	// preallocated nodes, one per source operand — and chained through
+	// waitNext. A node is live exactly while its slot waits on that source's
+	// producer, so there is no separate freelist to maintain. nwaiting
+	// counts a slot's producers whose completion time is still unknown;
+	// readyAt accumulates the latest known producer completion and is final
+	// once nwaiting reaches 0. age orders the ready set by rename order
+	// (robust against sources that do not populate Seq).
+	waitHead []int32
+	waitNext []int32
+	nwaiting []int8
+	readyAt  []int64
+	age      []int64
 
 	// Load-only state.
-	olderStores int64 // StoreID of the youngest store older than this load
-	classified  bool
-	conflicting bool
-	colliding   bool
-	collDist    int
-	pred        memdep.Prediction
-	predHit     bool
-	actualHit   bool
-	level       cache.Level
-	collided    bool  // paid the collision penalty
-	waitStore   int64 // store id whose STD must complete to resolve this load
-	cacheDone   int64 // completion time before collision resolution
-	bankDelay   int64 // stall/flush cycles from banked-cache conflicts
-	dispCycle   int64 // cycle the load dispatched (for replay accounting)
+	olderStores []int64 // StoreID of the youngest store older than this load
+	collDist    []int32
+	pred        []memdep.Prediction
+	level       []cache.Level
+	waitStore   []int64 // store id whose STD must complete to resolve this load
+	cacheDone   []int64 // completion time before collision resolution
+	bankDelay   []int64 // stall/flush cycles from banked-cache conflicts
+	dispCycle   []int64 // cycle the load dispatched (for replay accounting)
 }
 
-// loadView projects the policy-visible slice of a load entry.
-func loadView(en *entry) LoadView {
-	return LoadView{
-		IP: en.u.IP, Addr: en.u.Addr, Size: int(en.u.Size),
-		OlderStores: en.olderStores, Pred: en.pred,
+// newROB allocates every parallel slice at the rename-pool size.
+func newROB(pool int) robState {
+	return robState{
+		u:           make([]uop.UOp, pool),
+		flags:       make([]uint16, pool),
+		doneCycle:   make([]int64, pool),
+		src1Prod:    make([]int32, pool),
+		src2Prod:    make([]int32, pool),
+		src1Seq:     make([]int64, pool),
+		src2Seq:     make([]int64, pool),
+		waitHead:    make([]int32, pool),
+		waitNext:    make([]int32, 2*pool),
+		nwaiting:    make([]int8, pool),
+		readyAt:     make([]int64, pool),
+		age:         make([]int64, pool),
+		olderStores: make([]int64, pool),
+		collDist:    make([]int32, pool),
+		pred:        make([]memdep.Prediction, pool),
+		level:       make([]cache.Level, pool),
+		waitStore:   make([]int64, pool),
+		cacheDone:   make([]int64, pool),
+		bankDelay:   make([]int64, pool),
+		dispCycle:   make([]int64, pool),
 	}
 }
 
-// storeRec is the MOB's view of one in-flight store.
-type storeRec struct {
-	id   int64
-	ip   uint64
-	addr uint64
-	size int
-	// barrier marks a store the [Hess95] barrier cache flagged at rename;
-	// violated records whether a load was wrongly ordered against it.
-	barrier, violated bool
+// size returns the rename-pool capacity.
+func (r *robState) size() int { return len(r.flags) }
+
+// clearSlot rewinds one slot to the freshly renamed state for u: valid, in
+// the scheduling window, producers unresolved, every load/scheduling field
+// zeroed, wakeup list empty. The slot's two wakeup link nodes need no
+// clearing — a node is written when the slot registers on a producer.
+func (r *robState) clearSlot(idx int, u uop.UOp) {
+	r.u[idx] = u
+	r.flags[idx] = fValid | fInRS
+	r.doneCycle[idx] = 0
+	r.src1Prod[idx], r.src2Prod[idx] = -1, -1
+	r.src1Seq[idx], r.src2Seq[idx] = 0, 0
+	r.waitHead[idx] = -1
+	r.nwaiting[idx] = 0
+	r.readyAt[idx] = 0
+	r.age[idx] = 0
+	r.olderStores[idx] = 0
+	r.collDist[idx] = 0
+	r.pred[idx] = memdep.Prediction{}
+	r.level[idx] = 0
+	r.waitStore[idx] = 0
+	r.cacheDone[idx] = 0
+	r.bankDelay[idx] = 0
+	r.dispCycle[idx] = 0
+}
+
+// reset rewinds every slot (Reset/engine-pool path); allocations are kept.
+func (r *robState) reset() {
+	for i := range r.flags {
+		r.flags[i] = 0
+		r.waitHead[i] = -1
+	}
+}
+
+// loadView projects the policy-visible slice of a load slot.
+func (e *Engine) loadView(idx int32) LoadView {
+	u := &e.rob.u[idx]
+	return LoadView{
+		IP: u.IP, Addr: u.Addr, Size: int(u.Size),
+		OlderStores: e.rob.olderStores[idx], Pred: e.rob.pred[idx],
+	}
+}
+
+// Per-store MOB flag bits (mobState.flags). Exactly eight, so a store's
+// whole status is one byte.
+const (
+	// renamed halves present in the window.
+	mStaSeen uint8 = 1 << iota
+	mStdSeen
 	// Execution status of each half.
-	staExec, stdExec         bool
-	staExecCycle, stdExecCyc int64
+	mStaExec
+	mStdExec
 	// Retirement status of each half (both retired → the record can be
 	// pruned once it reaches the MOB head).
-	staRetired, stdRetired bool
-	// renamed halves present in the window.
-	staSeen, stdSeen bool
+	mStaRetired
+	mStdRetired
+	// mBarrier marks a store the [Hess95] barrier cache flagged at rename;
+	// mViolated records whether a load was wrongly ordered against it.
+	mBarrier
+	mViolated
+)
+
+// mobState is the memory-order buffer as a ring of parallel arrays: the
+// record for StoreID id lives at ring offset id-first, and length records
+// are live starting at ring position start. Store ids are implicit in the
+// ring position (first + offset), and each record's status is a single flag
+// byte, so the classification walks in memory.go stream a dense byte array.
+// The ring is sized once from Config.RenamePool (live stores are bounded by
+// the instruction window) and doubles only in the degenerate case that
+// bound is exceeded, so steady-state MOB traffic allocates nothing.
+type mobState struct {
+	ip           []uint64
+	addr         []uint64
+	size         []int32
+	flags        []uint8
+	staExecCycle []int64
+	stdExecCyc   []int64
+
+	start, length int
+	first         int64
 }
+
+// newMOB allocates the ring's parallel arrays.
+func newMOB(capacity int) mobState {
+	return mobState{
+		ip:           make([]uint64, capacity),
+		addr:         make([]uint64, capacity),
+		size:         make([]int32, capacity),
+		flags:        make([]uint8, capacity),
+		staExecCycle: make([]int64, capacity),
+		stdExecCyc:   make([]int64, capacity),
+	}
+}
+
+// capacity returns the ring size.
+func (m *mobState) capacity() int { return len(m.flags) }
 
 // Engine is the out-of-order machine.
 type Engine struct {
@@ -125,17 +244,17 @@ type Engine struct {
 	policy SpeculationPolicy
 	oracle bool
 
-	rob   []entry
-	head  int // index of the oldest entry
+	rob   robState
+	head  int // slot of the oldest entry
 	count int
 	// rsCount tracks scheduling-window occupancy incrementally.
 	rsCount int
 
-	// Event-driven scheduling core (ready.go): readyList holds the rob
-	// indexes of window entries whose operands are ready, in age order;
-	// wakeQ holds entries whose operands complete at a known future cycle.
-	// renameAge is the monotone counter behind entry.age. naive selects the
-	// retained full-walk reference scheduler (Config.NaiveSchedule).
+	// Event-driven scheduling core (ready.go): readyList holds the slots of
+	// window entries whose operands are ready, in age order; wakeQ holds
+	// entries whose operands complete at a known future cycle. renameAge is
+	// the monotone counter behind rob.age. naive selects the retained
+	// full-walk reference scheduler (Config.NaiveSchedule).
 	readyList []int32
 	wakeQ     wakeHeap
 	renameAge int64
@@ -146,18 +265,9 @@ type Engine struct {
 	regProd [uop.MaxArchRegs]int32
 	regSeq  [uop.MaxArchRegs]int64
 
-	// mob is a ring buffer of in-flight store records: the record for
-	// StoreID id lives at mob[(mobStart + id - mobFirst) % len(mob)], and
-	// mobLen records are live. The ring is sized once from Config.RenamePool
-	// (live stores are bounded by the instruction window) and doubles only
-	// in the degenerate case that bound is exceeded, so steady-state MOB
-	// traffic allocates nothing.
-	mob      []storeRec
-	mobStart int
-	mobLen   int
-	mobFirst int64
+	mob mobState
 
-	// pendingColl lists rob indexes of dispatched loads awaiting a colliding
+	// pendingColl lists slots of dispatched loads awaiting a colliding
 	// STD's completion time.
 	pendingColl []int32
 
@@ -188,8 +298,30 @@ type Engine struct {
 	cycleRenameStalled bool
 	schedHold          stallCause
 
+	// Incremental run state (BeginRun/StepRun/EndRun).
+	run runState
+
 	stats Stats
 }
+
+// runState tracks an in-progress BeginRun/StepRun run: which phase the run
+// is in, that phase's retirement target and livelock guard, and the cycle
+// the measured phase started at.
+type runState struct {
+	phase  runPhase
+	n      int    // measured uop count, set by BeginRun
+	target uint64 // stats.Uops value that completes the current phase
+	guard  int64  // livelock bound for the current phase
+	start  int64  // e.now at measured-phase entry
+}
+
+type runPhase uint8
+
+const (
+	runIdle runPhase = iota
+	runWarmup
+	runMeasure
+)
 
 // NewEngine builds an engine; it panics on an invalid configuration
 // (configurations are static here, so an error return would only be
@@ -210,10 +342,10 @@ func NewEngine(cfg Config, src Source) *Engine {
 		src:            src,
 		hier:           cache.NewHierarchy(cfg.Hier),
 		missq:          cache.NewMissQueue(16),
-		rob:            make([]entry, cfg.RenamePool),
+		rob:            newROB(cfg.RenamePool),
 		readyList:      make([]int32, 0, cfg.Window),
 		wakeQ:          make(wakeHeap, 0, cfg.RenamePool),
-		mob:            make([]storeRec, mobCap),
+		mob:            newMOB(mobCap),
 		pendingColl:    make([]int32, 0, 16),
 		missDetections: make([]int64, 0, 16),
 		naive:          cfg.NaiveSchedule,
@@ -230,13 +362,10 @@ func NewEngine(cfg Config, src Source) *Engine {
 }
 
 // resetState restores the construction-time machine state in place, keeping
-// every allocated structure (rob, ready list, wake heap, MOB ring, buffers —
-// including each entry's wakeup-list backing array).
+// every allocated structure (the ROB's parallel slices, ready list, wake
+// heap, MOB ring, buffers).
 func (e *Engine) resetState() {
-	for i := range e.rob {
-		en := &e.rob[i]
-		*en = entry{waiters: en.waiters[:0]}
-	}
+	e.rob.reset()
 	e.head, e.count, e.rsCount = 0, 0, 0
 	e.readyList = e.readyList[:0]
 	e.wakeQ = e.wakeQ[:0]
@@ -246,8 +375,8 @@ func (e *Engine) resetState() {
 		e.regProd[i] = -1
 		e.regSeq[i] = 0
 	}
-	e.mobStart, e.mobLen = 0, 0
-	e.mobFirst = 1
+	e.mob.start, e.mob.length = 0, 0
+	e.mob.first = 1
 	e.pendingColl = e.pendingColl[:0]
 	e.awaitingBranch, e.resumeAt = false, 0
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
@@ -255,6 +384,7 @@ func (e *Engine) resetState() {
 	e.recoveryStallUntil, e.recoveryCause = 0, stallNone
 	e.missDetections = e.missDetections[:0]
 	e.cycleRetired, e.cycleRenameStalled, e.schedHold = 0, false, stallNone
+	e.run = runState{}
 	e.stats = Stats{}
 }
 
@@ -299,24 +429,57 @@ func (e *Engine) Retired() uint64 { return e.stats.Uops }
 func (e *Engine) Now() int64 { return e.now }
 
 // Run simulates until n uops retire after warmup and returns the measured
-// statistics.
+// statistics. It is BeginRun + StepRun-to-completion + EndRun; batch
+// drivers (runner.RunBatch) use those pieces directly to interleave several
+// engines over one trace window.
 func (e *Engine) Run(n int) Stats {
-	if e.cfg.WarmupUops > 0 {
-		e.runUops(e.cfg.WarmupUops)
-		e.stats = Stats{}
-		e.hier.L1D().ResetStats()
-		e.hier.L2().ResetStats()
+	e.BeginRun(n)
+	for !e.StepRun(1 << 30) {
 	}
-	start := e.now
-	e.runUops(n)
-	e.stats.Cycles = e.now - start
-	return e.stats
+	return e.EndRun()
 }
 
-func (e *Engine) runUops(n int) {
-	target := e.stats.Uops + uint64(n)
-	guard := e.now + int64(n)*1000 + 1_000_000 // fail loudly on livelock
-	for e.stats.Uops < target {
+// BeginRun starts an incremental run that measures n retired uops after the
+// configured warmup, from the engine's current state (a fresh or Reset
+// engine gives the canonical from-zero run). Drive it with StepRun until
+// completion, then collect the measured statistics with EndRun.
+func (e *Engine) BeginRun(n int) {
+	e.run.n = n
+	if e.cfg.WarmupUops > 0 {
+		e.run.phase = runWarmup
+		e.run.target = e.stats.Uops + uint64(e.cfg.WarmupUops)
+		e.run.guard = e.now + int64(e.cfg.WarmupUops)*1000 + 1_000_000
+		return
+	}
+	e.startMeasure()
+}
+
+// startMeasure enters the measured phase: statistics from here to the
+// phase's retirement target are the run's result.
+func (e *Engine) startMeasure() {
+	e.run.phase = runMeasure
+	e.run.start = e.now
+	e.run.target = e.stats.Uops + uint64(e.run.n)
+	e.run.guard = e.now + int64(e.run.n)*1000 + 1_000_000
+}
+
+// StepRun advances an in-progress run until stride more uops retire, the
+// warmup/measurement boundary is reached, or the run completes; it reports
+// completion. The warmup boundary always returns control (without consuming
+// stride), so external steppers observe it and statistics reset exactly
+// where a monolithic run would have reset them. Cycle-for-cycle, a run
+// driven by any stride sequence is identical to Run(n): the livelock guard
+// is fixed per phase at phase entry, and fast-forward never crosses a
+// boundary because the retirement target bounds every inner loop.
+func (e *Engine) StepRun(stride int) bool {
+	if e.run.phase == runIdle {
+		return true
+	}
+	limit := e.run.target
+	if s := e.stats.Uops + uint64(stride); s < limit {
+		limit = s
+	}
+	for e.stats.Uops < limit {
 		if !e.naive {
 			// Jump over cycles where the machine provably cannot act,
 			// attributing them in bulk (see ready.go). Sits before cycle()
@@ -324,10 +487,28 @@ func (e *Engine) runUops(n int) {
 			e.fastForward()
 		}
 		e.cycle()
-		if e.now > guard {
+		if e.now > e.run.guard {
 			panic("ooo: livelock — no retirement progress")
 		}
 	}
+	if e.stats.Uops < e.run.target {
+		return false // stride exhausted mid-phase
+	}
+	if e.run.phase == runWarmup {
+		e.stats = Stats{}
+		e.hier.L1D().ResetStats()
+		e.hier.L2().ResetStats()
+		e.startMeasure()
+		return false
+	}
+	e.run.phase = runIdle
+	return true
+}
+
+// EndRun finalizes a completed run and returns the measured statistics.
+func (e *Engine) EndRun() Stats {
+	e.stats.Cycles = e.now - e.run.start
+	return e.stats
 }
 
 // cycle advances the machine one clock: retire, resolve collisions,
@@ -346,4 +527,4 @@ func (e *Engine) cycle() {
 	e.attributeCycle()
 }
 
-func (e *Engine) robIdx(pos int) int { return (e.head + pos) % len(e.rob) }
+func (e *Engine) robIdx(pos int) int { return (e.head + pos) % e.rob.size() }

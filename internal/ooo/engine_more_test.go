@@ -345,8 +345,8 @@ func TestMOBStaysBounded(t *testing.T) {
 	cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
 	e := NewEngine(cfg, trace.New(p))
 	e.Run(120000)
-	if len(e.mob) > cfg.RenamePool {
-		t.Fatalf("MOB grew to %d entries (window is %d)", len(e.mob), cfg.RenamePool)
+	if e.mob.capacity() > cfg.RenamePool {
+		t.Fatalf("MOB grew to %d entries (window is %d)", e.mob.capacity(), cfg.RenamePool)
 	}
 }
 

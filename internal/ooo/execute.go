@@ -8,53 +8,63 @@ import (
 // Execute stage (loads): performs the cache access of a dispatching load,
 // applies the policy's latency speculation (hit-miss / level prediction),
 // charges the mis-speculation penalties of §2.2, and detects ordering
-// violations against older overlapping stores.
+// violations against older overlapping stores by walking the MOB's flat
+// flag/address arrays.
 
 // executeLoad performs the cache access, hit-miss prediction accounting and
-// collision detection for a dispatching load.
-func (e *Engine) executeLoad(idx int32, en *entry) {
-	en.dispatched = true
-	en.inRS = false
+// collision detection for the dispatching load in slot idx.
+func (e *Engine) executeLoad(idx int32) {
+	r := &e.rob
+	r.flags[idx] = r.flags[idx]&^fInRS | fDispatched
 	e.rsCount--
-	en.dispCycle = e.now
+	r.dispCycle[idx] = e.now
+	addr, size := r.u[idx].Addr, int(r.u[idx].Size)
 
 	// Latency prediction must precede the access (the perfect predictor
 	// probes current cache state). Level-capable policies refine the binary
 	// hit/miss to the servicing level (§2.2 "for all levels").
-	predLevel := e.policy.PredictLevel(en.u.IP, en.u.Addr, e.now)
-	en.predHit = predLevel == cache.L1
-	en.level = e.hier.Access(en.u.Addr)
-	en.actualHit = en.level == cache.L1
+	predLevel := e.policy.PredictLevel(r.u[idx].IP, addr, e.now)
+	predHit := predLevel == cache.L1
+	level := e.hier.Access(addr)
+	r.level[idx] = level
+	actualHit := level == cache.L1
 
-	actualLat := e.cfg.Lat.Of(en.level)
+	actualLat := e.cfg.Lat.Of(level)
 	// Dynamic miss: the line's fill is still in flight (the cache model
 	// fills eagerly, so the directory says hit, but the data has not
 	// arrived). The load waits out the remaining fill time — and only the
 	// timing-enhanced predictor can anticipate it (§2.2).
 	dynamicMiss := false
 	e.missq.Advance(e.now)
-	if ready, ok := e.missq.ReadyAt(en.u.Addr); ok && ready > e.now {
-		en.actualHit = false
+	if ready, ok := e.missq.ReadyAt(addr); ok && ready > e.now {
+		actualHit = false
 		dynamicMiss = true
 		if rem := int(ready-e.now) + e.cfg.Lat.L1; rem > actualLat {
 			actualLat = rem
 		}
 	}
 	if e.oracle {
-		en.predHit = en.actualHit
-		predLevel = en.level
+		predHit = actualHit
+		predLevel = level
 		if dynamicMiss {
 			predLevel = cache.L2 // any non-L1 value: the oracle is exact below
 		}
 	}
+	if predHit {
+		r.flags[idx] |= fPredHit
+	}
+	if actualHit {
+		r.flags[idx] |= fActualHit
+	}
 	predLat := e.cfg.Lat.Of(predLevel)
+	var cacheDone int64
 	switch {
-	case en.actualHit && en.predHit: // AH-PH
-		en.cacheDone = e.now + int64(actualLat)
-	case en.actualHit && !en.predHit: // AH-PM: wait for the hit indication
-		en.cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
-	case !en.actualHit && en.predHit: // AM-PH: dependents replay
-		en.cacheDone = e.now + int64(actualLat+e.cfg.MissReplayPenalty)
+	case actualHit && predHit: // AH-PH
+		cacheDone = e.now + int64(actualLat)
+	case actualHit && !predHit: // AH-PM: wait for the hit indication
+		cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
+	case !actualHit && predHit: // AM-PH: dependents replay
+		cacheDone = e.now + int64(actualLat+e.cfg.MissReplayPenalty)
 		e.replayIntDebt += e.cfg.MissReplayUops
 		if e.cfg.MissRecoveryBubble > 0 {
 			// The miss is discovered when the hit indication arrives; the
@@ -62,32 +72,33 @@ func (e *Engine) executeLoad(idx int32, en *entry) {
 			e.missDetections = append(e.missDetections, e.now+int64(e.cfg.Lat.HitIndication))
 		}
 	default: // AM-PM: dependents scheduled for the predicted level's latency
-		en.cacheDone = e.now + int64(actualLat)
+		cacheDone = e.now + int64(actualLat)
 		switch {
 		case dynamicMiss || e.oracle:
 			// The MSHR (or the oracle) supplies the exact arrival time.
 		case actualLat > predLat:
 			// Serviced deeper than scheduled (e.g. predicted L2, went to
 			// memory): the dependents scheduled for predLat replay.
-			en.cacheDone += int64(e.cfg.MissReplayPenalty)
+			cacheDone += int64(e.cfg.MissReplayPenalty)
 		case actualLat < predLat:
 			// Serviced shallower than scheduled: dependents sleep until the
 			// early indication wakes them.
-			en.cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
+			cacheDone = e.now + int64(actualLat+e.cfg.Lat.HitIndication)
 		}
 	}
-	en.cacheDone += en.bankDelay
-	if !en.actualHit {
-		e.missq.RecordMiss(en.u.Addr, e.now+int64(actualLat))
+	cacheDone += r.bankDelay[idx]
+	r.cacheDone[idx] = cacheDone
+	if !actualHit {
+		e.missq.RecordMiss(addr, e.now+int64(actualLat))
 	}
 
-	if e.cfg.OnMemoryLoad != nil && en.level == cache.Memory && !dynamicMiss {
+	if e.cfg.OnMemoryLoad != nil && level == cache.Memory && !dynamicMiss {
 		if predLevel == cache.Memory {
 			// The predictor anticipated the full miss at dispatch.
-			e.cfg.OnMemoryLoad(en.cacheDone-e.now, true)
+			e.cfg.OnMemoryLoad(cacheDone-e.now, true)
 		} else {
 			// Discovered only when the hit indication arrives.
-			rem := en.cacheDone - e.now - int64(e.cfg.Lat.HitIndication)
+			rem := cacheDone - e.now - int64(e.cfg.Lat.HitIndication)
 			if rem < 0 {
 				rem = 0
 			}
@@ -97,57 +108,58 @@ func (e *Engine) executeLoad(idx int32, en *entry) {
 
 	// Collision detection: the youngest older overlapping store whose data
 	// is not complete at dispatch forces the paper's collision penalty.
-	var match *storeRec
-	for id := en.olderStores; id >= e.mobFirst; id-- {
-		rec := e.mobGet(id)
-		if rec == nil || !rec.staSeen {
+	matchID, matchPos := int64(-1), -1
+	for id := r.olderStores[idx]; id >= e.mob.first; id-- {
+		pos := e.mobGet(id)
+		if pos < 0 || e.mob.flags[pos]&mStaSeen == 0 {
 			continue
 		}
-		if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) {
-			match = rec
+		if overlap(e.mob.addr[pos], int(e.mob.size[pos]), addr, size) {
+			matchID, matchPos = id, pos
 			break
 		}
 	}
-	if match != nil && !match.stdExec {
+	if matchPos >= 0 && e.mob.flags[matchPos]&mStdExec == 0 {
 		// Ordering violation: the matching store's data has not even been
 		// scheduled. The load is parked until the STD executes; detection of
 		// the violation then costs a recovery bubble and replay bandwidth.
-		en.collided = true
+		r.flags[idx] |= fCollided
 		e.stats.Collisions++
-		en.waitStore = match.id
+		r.waitStore[idx] = matchID
 		e.pendingColl = append(e.pendingColl, idx)
 		if e.cfg.Barrier != nil {
-			match.violated = true
-			e.cfg.Barrier.RecordViolation(match.ip)
+			e.mob.flags[matchPos] |= mViolated
+			e.cfg.Barrier.RecordViolation(e.mob.ip[matchPos])
 		}
 		return
 	}
-	en.done = true
-	en.doneCycle = en.cacheDone
-	if match != nil && match.stdExecCyc >= e.now {
+	r.flags[idx] |= fDone
+	done := cacheDone
+	if matchPos >= 0 && e.mob.stdExecCyc[matchPos] >= e.now {
 		// The data is in flight with a known completion time: plain
 		// store-to-load forwarding, one extra cycle, no penalty.
-		if fwd := match.stdExecCyc + 1; fwd > en.doneCycle {
-			en.doneCycle = fwd
+		if fwd := e.mob.stdExecCyc[matchPos] + 1; fwd > done {
+			done = fwd
 		}
 	}
 	if e.cfg.DistanceForwarding && e.cfg.Scheme == memdep.Exclusive &&
-		en.pred.Colliding && en.pred.Distance != memdep.NoDistance && match != nil {
+		r.pred[idx].Colliding && r.pred[idx].Distance != memdep.NoDistance && matchPos >= 0 {
 		// Load-store pairing through the predicted distance: when the
 		// predicted distance names the matching store, the load's data comes
 		// from the store queue at ForwardLatency instead of the cache.
-		if d := int(en.olderStores - match.id + 1); d == en.pred.Distance {
-			fwd := match.stdExecCyc + int64(e.cfg.ForwardLatency)
+		if d := int(r.olderStores[idx] - matchID + 1); d == r.pred[idx].Distance {
+			fwd := e.mob.stdExecCyc[matchPos] + int64(e.cfg.ForwardLatency)
 			if fwd < e.now+int64(e.cfg.ForwardLatency) {
 				fwd = e.now + int64(e.cfg.ForwardLatency)
 			}
-			if fwd < en.doneCycle {
-				en.doneCycle = fwd
+			if fwd < done {
+				done = fwd
 				e.stats.Forwards++
 			}
 		}
 	}
 	// doneCycle is final only after the forwarding adjustments above; the
 	// collided path returns early and wakes from finishCollidedLoad instead.
-	e.wakeDependents(en)
+	r.doneCycle[idx] = done
+	e.wakeDependents(idx)
 }

@@ -3,17 +3,19 @@ package ooo
 import "loadsched/internal/uop"
 
 // Front-end stage: fetch + rename. Pulls up to FetchWidth uops per cycle
-// from the source, allocates ROB/scheduling-window entries, resolves
-// register producers, opens MOB records for store halves, and consults the
-// speculation policy for each load's collision prediction. A mispredicted
-// branch stalls fetch until the branch resolves plus the refill bubble.
+// from the source, allocates ROB/scheduling-window slots (clearing the
+// slot's parallel-array fields in place — no struct copy, no allocation),
+// resolves register producers, opens MOB records for store halves, and
+// consults the speculation policy for each load's collision prediction. A
+// mispredicted branch stalls fetch until the branch resolves plus the
+// refill bubble.
 
 func (e *Engine) fetchRename() {
 	if e.awaitingBranch || e.now < e.resumeAt {
 		return
 	}
 	for i := 0; i < e.cfg.FetchWidth; i++ {
-		if e.count >= len(e.rob) || e.rsCount >= e.cfg.Window {
+		if e.count >= e.rob.size() || e.rsCount >= e.cfg.Window {
 			e.stats.RenameStalls++
 			e.cycleRenameStalled = true
 			return
@@ -33,42 +35,39 @@ func (e *Engine) fetchRename() {
 func (e *Engine) rename(u uop.UOp) {
 	idx := e.robIdx(e.count)
 	e.count++
-	en := &e.rob[idx]
-	// Reuse the slot's wakeup-list backing array (always drained by now:
-	// dependents are woken before an entry can retire).
-	waiters := en.waiters[:0]
-	*en = entry{u: u, valid: true, inRS: true, src1Prod: -1, src2Prod: -1, waiters: waiters}
+	r := &e.rob
+	r.clearSlot(idx, u)
 	e.rsCount++
 
-	en.src1Prod, en.src1Seq = e.lookupProducer(u.Src1)
-	en.src2Prod, en.src2Seq = e.lookupProducer(u.Src2)
+	r.src1Prod[idx], r.src1Seq[idx] = e.lookupProducer(u.Src1)
+	r.src2Prod[idx], r.src2Seq[idx] = e.lookupProducer(u.Src2)
 	if u.Dst != uop.NoReg {
 		e.regProd[u.Dst] = int32(idx)
 		e.regSeq[u.Dst] = u.Seq
 	}
 	if u.Kind == uop.Branch && u.Mispredicted {
-		en.blockingBranch = true
+		r.flags[idx] |= fBlockingBranch
 	}
 
 	switch u.Kind {
 	case uop.STA:
-		rec := e.mobEnsure(u.StoreID)
-		rec.ip = u.IP
-		rec.addr = u.Addr
-		rec.size = int(u.Size)
-		rec.staSeen = true
+		pos := e.mobEnsure(u.StoreID)
+		e.mob.ip[pos] = u.IP
+		e.mob.addr[pos] = u.Addr
+		e.mob.size[pos] = int32(u.Size)
+		e.mob.flags[pos] |= mStaSeen
 		if e.cfg.Barrier != nil && e.cfg.Barrier.ShouldBarrier(u.IP) {
-			rec.barrier = true
+			e.mob.flags[pos] |= mBarrier
 		}
 	case uop.STD:
-		rec := e.mobEnsure(u.StoreID)
-		rec.stdSeen = true
+		pos := e.mobEnsure(u.StoreID)
+		e.mob.flags[pos] |= mStdSeen
 	case uop.Load:
-		en.olderStores = e.lastStoreID()
-		en.pred = e.policy.PredictCollision(u.IP)
+		r.olderStores[idx] = e.lastStoreID()
+		r.pred[idx] = e.policy.PredictCollision(u.IP)
 	}
 
-	e.linkDeps(int32(idx), en)
+	e.linkDeps(int32(idx))
 }
 
 // lookupProducer resolves a source register to its in-flight producer.
@@ -80,9 +79,9 @@ func (e *Engine) lookupProducer(r uop.Reg) (int32, int64) {
 	if idx < 0 {
 		return -1, 0
 	}
-	en := &e.rob[idx]
-	if !en.valid || en.u.Seq != e.regSeq[r] || en.u.Dst != r {
+	u := &e.rob.u[idx]
+	if e.rob.flags[idx]&fValid == 0 || u.Seq != e.regSeq[r] || u.Dst != r {
 		return -1, 0 // producer already retired
 	}
-	return idx, en.u.Seq
+	return idx, u.Seq
 }

@@ -4,14 +4,18 @@ package ooo
 // halves, classifies loads against older stores (the paper's
 // conflicting/colliding taxonomy), answers the ordering queries the
 // speculation policy asks through MOBView, and resolves collided loads once
-// the offending store's data timing is known.
+// the offending store's data timing is known. The MOB is mobState
+// (engine.go): a ring of parallel arrays addressed by ring position, each
+// record's status a single flag byte, with store ids implicit in the ring
+// offset — the classification walks below stream a dense byte array and
+// never chase a pointer.
 
-// mobIdx maps an offset from mobFirst to its ring position. The offset is
-// always < len(e.mob), so one conditional wrap replaces a modulo.
+// mobIdx maps an offset from mob.first to its ring position. The offset is
+// always < capacity, so one conditional wrap replaces a modulo.
 func (e *Engine) mobIdx(off int) int {
-	i := e.mobStart + off
-	if i >= len(e.mob) {
-		i -= len(e.mob)
+	i := e.mob.start + off
+	if n := e.mob.capacity(); i >= n {
+		i -= n
 	}
 	return i
 }
@@ -20,49 +24,87 @@ func (e *Engine) mobIdx(off int) int {
 // Live stores are bounded by the rename pool the ring was sized from, so
 // this is a degenerate-workload escape hatch, not a steady-state path.
 func (e *Engine) mobGrow() {
-	grown := make([]storeRec, 2*len(e.mob))
-	for i := 0; i < e.mobLen; i++ {
-		grown[i] = e.mob[e.mobIdx(i)]
+	old := e.mob
+	grown := newMOB(2 * old.capacity())
+	for i := 0; i < old.length; i++ {
+		src := e.mobIdx(i)
+		grown.ip[i] = old.ip[src]
+		grown.addr[i] = old.addr[src]
+		grown.size[i] = old.size[src]
+		grown.flags[i] = old.flags[src]
+		grown.staExecCycle[i] = old.staExecCycle[src]
+		grown.stdExecCyc[i] = old.stdExecCyc[src]
 	}
+	grown.start, grown.length, grown.first = 0, old.length, old.first
 	e.mob = grown
-	e.mobStart = 0
 }
 
-func (e *Engine) mobEnsure(id int64) *storeRec {
-	for e.mobFirst+int64(e.mobLen) <= id {
-		if e.mobLen == len(e.mob) {
+// mobEnsure materializes ring records up through store id and returns id's
+// ring position.
+func (e *Engine) mobEnsure(id int64) int {
+	for e.mob.first+int64(e.mob.length) <= id {
+		if e.mob.length == e.mob.capacity() {
 			e.mobGrow()
 		}
-		e.mob[e.mobIdx(e.mobLen)] = storeRec{id: e.mobFirst + int64(e.mobLen)}
-		e.mobLen++
+		pos := e.mobIdx(e.mob.length)
+		e.mob.ip[pos], e.mob.addr[pos], e.mob.size[pos] = 0, 0, 0
+		e.mob.flags[pos] = 0
+		e.mob.staExecCycle[pos], e.mob.stdExecCyc[pos] = 0, 0
+		e.mob.length++
 	}
-	return &e.mob[e.mobIdx(int(id-e.mobFirst))]
+	return e.mobIdx(int(id - e.mob.first))
 }
 
-func (e *Engine) mobGet(id int64) *storeRec {
-	off := id - e.mobFirst
-	if off < 0 || off >= int64(e.mobLen) {
-		return nil
+// mobGet returns store id's ring position, or -1 when the record has been
+// pruned (or never existed).
+func (e *Engine) mobGet(id int64) int {
+	off := id - e.mob.first
+	if off < 0 || off >= int64(e.mob.length) {
+		return -1
 	}
-	return &e.mob[e.mobIdx(int(off))]
+	return e.mobIdx(int(off))
 }
 
 // lastStoreID returns the id of the youngest store renamed so far.
-func (e *Engine) lastStoreID() int64 { return e.mobFirst + int64(e.mobLen) - 1 }
+func (e *Engine) lastStoreID() int64 { return e.mob.first + int64(e.mob.length) - 1 }
+
+// mobSegs returns the ring positions of the in-window stores with id ≤
+// maxID as up to two contiguous index ranges, [a0,a1) then [b0,b1), over
+// the MOB's parallel arrays. Walking the ranges in order visits stores
+// oldest first (ids mob.first, mob.first+1, …): the wrap point is resolved
+// once here so the classification loops below scan dense flag bytes with no
+// per-record bounds or wrap arithmetic.
+func (e *Engine) mobSegs(maxID int64) (a0, a1, b0, b1 int) {
+	k := maxID - e.mob.first + 1
+	if k <= 0 {
+		return 0, 0, 0, 0
+	}
+	if n := int64(e.mob.length); k > n {
+		k = n
+	}
+	n := e.mob.capacity()
+	a0 = e.mob.start
+	a1 = a0 + int(k)
+	if a1 > n {
+		b1 = a1 - n
+		a1 = n
+	}
+	return a0, a1, 0, b1
+}
 
 // mobPrune drops fully retired stores from the MOB head.
 func (e *Engine) mobPrune() {
-	for e.mobLen > 0 {
-		r := &e.mob[e.mobStart]
-		if !(r.staRetired && r.stdRetired) {
+	const retired = mStaRetired | mStdRetired
+	for e.mob.length > 0 {
+		if e.mob.flags[e.mob.start]&retired != retired {
 			return
 		}
-		e.mobStart++
-		if e.mobStart == len(e.mob) {
-			e.mobStart = 0
+		e.mob.start++
+		if e.mob.start == e.mob.capacity() {
+			e.mob.start = 0
 		}
-		e.mobLen--
-		e.mobFirst++
+		e.mob.length--
+		e.mob.first++
 	}
 }
 
@@ -71,7 +113,8 @@ func overlap(a uint64, asz int, b uint64, bsz int) bool {
 	return a < b+uint64(bsz) && b < a+uint64(asz)
 }
 
-// classifyLoad computes the AC/ANC/not-conflicting status of Figure 1.
+// classifyLoad computes the AC/ANC/not-conflicting status of Figure 1 for
+// the load in slot idx.
 //
 // A load is *conflicting* when an older in-window store is incomplete at the
 // load's schedule time, and *colliding* when such a store also overlaps the
@@ -80,47 +123,67 @@ func overlap(a uint64, asz int, b uint64, bsz int) bool {
 // unresolved STAs only; we fold in pending STDs so that the classification,
 // the collision penalty, and CHT training all describe the same event — see
 // DESIGN.md.)
-func (e *Engine) classifyLoad(en *entry) {
-	en.classified = true
-	conflicting, colliding, dist := false, false, 0
-	for id := e.mobFirst; id <= en.olderStores; id++ {
-		rec := e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if e.storeDone(rec) {
-			// Both halves have at least dispatched: the scheduler knows the
-			// address and the data timing, so no ambiguity remains.
-			continue
-		}
-		conflicting = true
-		if overlap(rec.addr, rec.size, en.u.Addr, int(en.u.Size)) {
-			colliding = true
-			d := int(en.olderStores - rec.id + 1)
-			if dist == 0 || d < dist {
-				dist = d
+func (e *Engine) classifyLoad(idx int32) {
+	r := &e.rob
+	r.flags[idx] |= fClassified
+	addr, size := r.u[idx].Addr, int(r.u[idx].Size)
+	conflicting, colliding, dist := false, false, int64(0)
+	older := r.olderStores[idx]
+	const executed = mStaExec | mStdExec
+	flags, addrs, sizes := e.mob.flags, e.mob.addr, e.mob.size
+	a0, a1, b0, b1 := e.mobSegs(older)
+	id := e.mob.first
+	for _, sg := range [2][2]int{{a0, a1}, {b0, b1}} {
+		for pos := sg[0]; pos < sg[1]; pos++ {
+			// A store is ambiguous only while a half is undispatched: once
+			// both halves have at least dispatched, the scheduler knows the
+			// address and the data timing.
+			if f := flags[pos]; f&mStaSeen != 0 && f&executed != executed {
+				conflicting = true
+				if overlap(addrs[pos], int(sizes[pos]), addr, size) {
+					colliding = true
+					d := older - id + 1
+					if dist == 0 || d < dist {
+						dist = d
+					}
+				}
 			}
+			id++
 		}
 	}
-	en.conflicting = conflicting
-	en.colliding = colliding
-	en.collDist = dist
+	if conflicting {
+		r.flags[idx] |= fConflicting
+	}
+	if colliding {
+		r.flags[idx] |= fColliding
+	}
+	r.collDist[idx] = int32(dist)
 }
 
 // barrierBlocked reports an in-flight incomplete store the [Hess95] barrier
 // cache flagged at rename; loads may not pass it regardless of scheme.
 func (e *Engine) barrierBlocked(maxID int64) bool {
-	for id := e.mobFirst; id <= maxID; id++ {
-		rec := e.mobGet(id)
-		if rec != nil && rec.barrier && !e.storeDone(rec) {
+	const executed = mStaExec | mStdExec
+	flags := e.mob.flags
+	a0, a1, b0, b1 := e.mobSegs(maxID)
+	for pos := a0; pos < a1; pos++ {
+		if f := flags[pos]; f&mBarrier != 0 && f&executed != executed {
+			return true
+		}
+	}
+	for pos := b0; pos < b1; pos++ {
+		if f := flags[pos]; f&mBarrier != 0 && f&executed != executed {
 			return true
 		}
 	}
 	return false
 }
 
-func (e *Engine) storeDone(rec *storeRec) bool {
-	return rec.staExec && rec.stdExec
+// storeDone reports whether both halves of the store at ring position pos
+// have dispatched.
+func (e *Engine) storeDone(pos int) bool {
+	const executed = mStaExec | mStdExec
+	return e.mob.flags[pos]&executed == executed
 }
 
 // mobView hands the speculation policy a read-only window onto the MOB.
@@ -129,20 +192,24 @@ func (e *Engine) mobView() MOBView { return engineMOB{e} }
 // engineMOB adapts the engine's MOB to the policy-facing MOBView.
 type engineMOB struct{ e *Engine }
 
-func (m engineMOB) FirstStore() int64 { return m.e.mobFirst }
+func (m engineMOB) FirstStore() int64 { return m.e.mob.first }
 
 // StoresComplete reports whether all in-window stores with id ≤ maxID have
 // dispatched their STA (and, if withSTD, their STD).
 func (m engineMOB) StoresComplete(maxID int64, withSTD bool) bool {
-	for id := m.e.mobFirst; id <= maxID; id++ {
-		rec := m.e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if !rec.staExec {
+	want := uint8(mStaExec)
+	if withSTD {
+		want |= mStdExec
+	}
+	flags := m.e.mob.flags
+	a0, a1, b0, b1 := m.e.mobSegs(maxID)
+	for pos := a0; pos < a1; pos++ {
+		if f := flags[pos]; f&mStaSeen != 0 && f&want != want {
 			return false
 		}
-		if withSTD && !rec.stdExec {
+	}
+	for pos := b0; pos < b1; pos++ {
+		if f := flags[pos]; f&mStaSeen != 0 && f&want != want {
 			return false
 		}
 	}
@@ -150,13 +217,16 @@ func (m engineMOB) StoresComplete(maxID int64, withSTD bool) bool {
 }
 
 func (m engineMOB) OverlapIncomplete(maxID int64, addr uint64, size int) bool {
-	for id := m.e.mobFirst; id <= maxID; id++ {
-		rec := m.e.mobGet(id)
-		if rec == nil || !rec.staSeen {
-			continue
-		}
-		if overlap(rec.addr, rec.size, addr, size) && !m.e.storeDone(rec) {
-			return true
+	const executed = mStaExec | mStdExec
+	flags, addrs, sizes := m.e.mob.flags, m.e.mob.addr, m.e.mob.size
+	a0, a1, b0, b1 := m.e.mobSegs(maxID)
+	for _, sg := range [2][2]int{{a0, a1}, {b0, b1}} {
+		for pos := sg[0]; pos < sg[1]; pos++ {
+			f := flags[pos]
+			if f&mStaSeen != 0 && f&executed != executed &&
+				overlap(addrs[pos], int(sizes[pos]), addr, size) {
+				return true
+			}
 		}
 	}
 	return false
@@ -168,22 +238,24 @@ func (m engineMOB) OverlapIncomplete(maxID int64, addr uint64, size int) bool {
 // recovery penalty. A correctly-delayed load would have dispatched at
 // stdDone and seen its data one cache latency later, so the collision costs
 // exactly CollisionPenalty extra — the paper's accounting.
-func (e *Engine) finishCollidedLoad(en *entry, stdDone int64) {
-	en.done = true
-	en.doneCycle = stdDone + int64(e.cfg.Lat.L1+e.cfg.CollisionPenalty)
-	if en.cacheDone > en.doneCycle {
-		en.doneCycle = en.cacheDone
+func (e *Engine) finishCollidedLoad(idx int32, stdDone int64) {
+	r := &e.rob
+	r.flags[idx] |= fDone
+	done := stdDone + int64(e.cfg.Lat.L1+e.cfg.CollisionPenalty)
+	if r.cacheDone[idx] > done {
+		done = r.cacheDone[idx]
 	}
+	r.doneCycle[idx] = done
 	// A machine without the P6 stall-in-RS ability re-executes the load and
 	// its dependents "until the STD is successfully completed" (§1.1): one
 	// replay round per cache latency of waiting, each burning issue slots.
-	rounds := 1 + int(stdDone-en.dispCycle)/e.cfg.Lat.L1
+	rounds := 1 + int(stdDone-r.dispCycle[idx])/e.cfg.Lat.L1
 	if rounds < 1 {
 		rounds = 1
 	}
 	e.replayMemDebt += rounds
 	e.replayIntDebt += rounds * e.cfg.CollisionReplayUops
-	e.wakeDependents(en)
+	e.wakeDependents(idx)
 }
 
 // resolveCollisions completes loads whose colliding STD has now executed.
@@ -193,18 +265,17 @@ func (e *Engine) resolveCollisions() {
 	}
 	kept := e.pendingColl[:0]
 	for _, idx := range e.pendingColl {
-		en := &e.rob[idx]
-		rec := e.mobGet(en.waitStore)
-		if rec == nil {
+		pos := e.mobGet(e.rob.waitStore[idx])
+		if pos < 0 {
 			// The store fully retired in this very cycle's retire phase (its
 			// STD completed just before we ran). The collision still
 			// happened — resolve it against the current cycle so the penalty
 			// is not silently dropped.
-			e.finishCollidedLoad(en, e.now)
+			e.finishCollidedLoad(idx, e.now)
 			continue
 		}
-		if rec.stdExec && rec.stdExecCyc <= e.now {
-			e.finishCollidedLoad(en, rec.stdExecCyc)
+		if e.mob.flags[pos]&mStdExec != 0 && e.mob.stdExecCyc[pos] <= e.now {
+			e.finishCollidedLoad(idx, e.mob.stdExecCyc[pos])
 			// The violation is detected now: the scheduler spends a bubble
 			// re-sequencing the load's dependence tree.
 			until := e.now + int64(e.cfg.CollisionRecoveryBubble)

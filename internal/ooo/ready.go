@@ -7,19 +7,27 @@ import "math"
 // that question answered incrementally instead:
 //
 //   - At rename, linkDeps registers the new uop on each unfinished
-//     producer's wakeup list (entry.waiters). A uop whose producers all have
-//     known completion times goes straight to the ready structures.
+//     producer's wakeup list. The lists are intrusive index links over the
+//     ROB's parallel slices (rob.waitHead / rob.waitNext): each slot owns
+//     two preallocated link nodes, one per source operand, identified as
+//     idx<<1|src — no per-entry backing slice exists. A uop whose producers
+//     all have known completion times goes straight to the ready
+//     structures.
 //   - When a producer's completion time becomes known (complete,
 //     executeLoad's non-collided exit, finishCollidedLoad), wakeDependents
-//     folds that time into each waiter's readyAt and, once the last unknown
-//     producer reports in, schedules the waiter: into readyList if ready
-//     now, into the wakeQ time heap otherwise.
+//     walks the producer's link chain, folds that time into each waiter's
+//     readyAt and, once the last unknown producer reports in, schedules the
+//     waiter: into readyList if ready now, into the wakeQ time heap
+//     otherwise. Pushing links at the head visits waiters in reverse
+//     registration order, which is observably neutral: every effect funnels
+//     through insertReady (a total order on unique ages) or the wake heap
+//     (observed only through its minimum, with ties age-ordered on drain).
 //   - dispatch drains the wakeQ up to the current cycle and walks only
-//     readyList — in entry.age order, which is rename order, so the walk
-//     visits exactly the entries the naive oldest-first window scan would
-//     have found ready, in the same order. Entries held by a scheduling
-//     decision (ordering/bank/port) stay on the list and are re-offered
-//     every cycle, preserving the per-cycle policy-call sequence and the
+//     readyList — in age order, which is rename order, so the walk visits
+//     exactly the entries the naive oldest-first window scan would have
+//     found ready, in the same order. Entries held by a scheduling decision
+//     (ordering/bank/port) stay on the list and are re-offered every cycle,
+//     preserving the per-cycle policy-call sequence and the
 //     first-hold-wins CPI evidence.
 //
 // On top of the ready structures, fastForward jumps over spans of cycles
@@ -28,7 +36,7 @@ import "math"
 // so causes still sum to Cycles, and the golden figure output is
 // byte-identical to the per-cycle walk.
 
-// wakeEvent schedules rob entry idx to become ready at cycle at.
+// wakeEvent schedules ROB slot idx to become ready at cycle at.
 type wakeEvent struct {
 	at  int64
 	idx int32
@@ -78,66 +86,76 @@ func (h *wakeHeap) pop() wakeEvent {
 	return top
 }
 
-// linkDeps wires a freshly renamed entry into the wakeup graph. Producers
+// linkDeps wires a freshly renamed slot into the wakeup graph. Producers
 // whose completion time is already known contribute it to readyAt;
-// unfinished producers get the entry on their waiters list. With no
-// unfinished producers the entry is scheduled immediately.
-func (e *Engine) linkDeps(idx int32, en *entry) {
-	en.age = e.renameAge
+// unfinished producers get the slot's link node (idx<<1|src) pushed onto
+// their chain. With no unfinished producers the slot is scheduled
+// immediately.
+func (e *Engine) linkDeps(idx int32) {
+	r := &e.rob
+	r.age[idx] = e.renameAge
 	e.renameAge++
 	if e.naive {
 		return
 	}
 	var ready int64
-	if p := en.src1Prod; p >= 0 {
-		pe := &e.rob[p]
-		if pe.done {
-			if pe.doneCycle > ready {
-				ready = pe.doneCycle
+	if p := r.src1Prod[idx]; p >= 0 {
+		if r.flags[p]&fDone != 0 {
+			if d := r.doneCycle[p]; d > ready {
+				ready = d
 			}
 		} else {
-			pe.waiters = append(pe.waiters, idx)
-			en.nwaiting++
+			n := idx << 1 // source-0 link node
+			r.waitNext[n] = r.waitHead[p]
+			r.waitHead[p] = n
+			r.nwaiting[idx]++
 		}
 	}
-	if p := en.src2Prod; p >= 0 {
-		pe := &e.rob[p]
-		if pe.done {
-			if pe.doneCycle > ready {
-				ready = pe.doneCycle
+	if p := r.src2Prod[idx]; p >= 0 {
+		if r.flags[p]&fDone != 0 {
+			if d := r.doneCycle[p]; d > ready {
+				ready = d
 			}
 		} else {
-			pe.waiters = append(pe.waiters, idx)
-			en.nwaiting++
+			n := idx<<1 | 1 // source-1 link node
+			r.waitNext[n] = r.waitHead[p]
+			r.waitHead[p] = n
+			r.nwaiting[idx]++
 		}
 	}
-	en.readyAt = ready
-	if en.nwaiting == 0 {
+	r.readyAt[idx] = ready
+	if r.nwaiting[idx] == 0 {
 		e.enqueueReady(idx, ready)
 	}
 }
 
-// wakeDependents reports en's now-final doneCycle to every waiter. A waiter
-// whose last unknown producer this was gets scheduled. Called exactly once
-// per entry, at the one point its doneCycle becomes final.
-func (e *Engine) wakeDependents(en *entry) {
-	if len(en.waiters) == 0 {
+// wakeDependents reports slot idx's now-final doneCycle to every waiter on
+// its link chain. A waiter whose last unknown producer this was gets
+// scheduled. Called exactly once per slot, at the one point its doneCycle
+// becomes final; the chain is detached up front, which frees every visited
+// link node (a node is live only while its slot waits on this producer).
+func (e *Engine) wakeDependents(idx int32) {
+	r := &e.rob
+	n := r.waitHead[idx]
+	if n < 0 {
 		return
 	}
-	for _, w := range en.waiters {
-		c := &e.rob[w]
-		if en.doneCycle > c.readyAt {
-			c.readyAt = en.doneCycle
+	r.waitHead[idx] = -1
+	done := r.doneCycle[idx]
+	for n >= 0 {
+		w := n >> 1
+		n = r.waitNext[n]
+		if done > r.readyAt[w] {
+			r.readyAt[w] = done
 		}
-		c.nwaiting--
-		if c.nwaiting == 0 {
-			e.enqueueReady(w, c.readyAt)
+		r.nwaiting[w]--
+		if r.nwaiting[w] == 0 {
+			e.enqueueReady(w, r.readyAt[w])
 		}
 	}
-	en.waiters = en.waiters[:0]
 }
 
-// enqueueReady schedules an operand-complete entry: the wakeQ if its data
+// enqueueReady schedules an operand-complete slot: the wakeQ if its data
 // arrives in the future, the ready list if it is dispatchable already.
 func (e *Engine) enqueueReady(idx int32, at int64) {
 	if at > e.now {
@@ -153,15 +171,16 @@ func (e *Engine) enqueueReady(idx int32, at int64) {
 // consumer is younger than its producer, so it lands after the walk index.
 func (e *Engine) insertReady(idx int32) {
 	rl := e.readyList
-	age := e.rob[idx].age
-	if n := len(rl); n == 0 || e.rob[rl[n-1]].age < age {
+	ages := e.rob.age
+	age := ages[idx]
+	if n := len(rl); n == 0 || ages[rl[n-1]] < age {
 		e.readyList = append(rl, idx)
 		return
 	}
 	lo, hi := 0, len(rl)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if e.rob[rl[mid]].age < age {
+		if ages[rl[mid]] < age {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -182,7 +201,7 @@ func (e *Engine) drainWakeQ() {
 }
 
 // fastForward jumps e.now to just before the next cycle the machine can
-// act, bulk-attributing the skipped idle cycles. Run by runUops immediately
+// act, bulk-attributing the skipped idle cycles. Run by StepRun immediately
 // before cycle(), so a warmup/measurement boundary never lands inside a
 // skipped span.
 func (e *Engine) fastForward() {
@@ -218,26 +237,28 @@ func (e *Engine) idleSpan() int64 {
 
 	// Retire: the window head's completion is the only retire trigger.
 	if e.count > 0 {
-		if h := &e.rob[e.head]; h.done {
-			if h.doneCycle <= k {
+		if h := e.head; e.rob.flags[h]&fDone != 0 {
+			d := e.rob.doneCycle[h]
+			if d <= k {
 				return 0
 			}
-			upd(h.doneCycle)
+			upd(d)
 		}
 	}
 	// Collision resolution: a pending collided load resolves when its
 	// store's STD completes. (The store cannot retire out from under the
 	// record inside an idle span — retirement is already excluded above.)
 	for _, idx := range e.pendingColl {
-		rec := e.mobGet(e.rob[idx].waitStore)
-		if rec == nil {
+		pos := e.mobGet(e.rob.waitStore[idx])
+		if pos < 0 {
 			return 0
 		}
-		if rec.stdExec {
-			if rec.stdExecCyc <= k {
+		if e.mob.flags[pos]&mStdExec != 0 {
+			c := e.mob.stdExecCyc[pos]
+			if c <= k {
 				return 0
 			}
-			upd(rec.stdExecCyc)
+			upd(c)
 		}
 	}
 	// Deferred miss detections arm recovery bubbles even while dispatch is
@@ -269,13 +290,13 @@ func (e *Engine) idleSpan() int64 {
 	if !e.awaitingBranch {
 		if k < e.resumeAt {
 			upd(e.resumeAt)
-		} else if e.count < len(e.rob) && e.rsCount < e.cfg.Window {
+		} else if e.count < e.rob.size() && e.rsCount < e.cfg.Window {
 			return 0
 		}
 	}
 	if next == math.MaxInt64 {
 		// No future event at all (a wedged machine): don't skip, let the
-		// livelock guard in runUops fail loudly.
+		// livelock guard in StepRun fail loudly.
 		return 0
 	}
 	return next
@@ -292,7 +313,7 @@ func (e *Engine) bulkIdle(n int64) {
 	c := &e.stats.CPI
 	frontOpen := !e.awaitingBranch && e.now+1 >= e.resumeAt
 	renameStalled := frontOpen &&
-		(e.count >= len(e.rob) || e.rsCount >= e.cfg.Window)
+		(e.count >= e.rob.size() || e.rsCount >= e.cfg.Window)
 	if renameStalled {
 		e.stats.RenameStalls += uint64(n)
 	}

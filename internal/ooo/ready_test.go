@@ -71,7 +71,7 @@ func TestInsertReadyRestoresAgeOrder(t *testing.T) {
 	// same cycle in a scrambled push order.
 	idxs := []int32{3, 0, 7, 5, 1}
 	for i, idx := range idxs {
-		e.rob[idx].age = int64(10 + i) // age follows idxs order
+		e.rob.age[idx] = int64(10 + i) // age follows idxs order
 	}
 	e.now = 0
 	for _, idx := range []int32{7, 3, 1, 0, 5} { // scrambled
@@ -83,9 +83,9 @@ func TestInsertReadyRestoresAgeOrder(t *testing.T) {
 		t.Fatalf("readyList has %d entries, want %d", len(e.readyList), len(idxs))
 	}
 	for i := 1; i < len(e.readyList); i++ {
-		if e.rob[e.readyList[i]].age <= e.rob[e.readyList[i-1]].age {
+		if e.rob.age[e.readyList[i]] <= e.rob.age[e.readyList[i-1]] {
 			t.Fatalf("readyList not age-ordered: ages %d then %d",
-				e.rob[e.readyList[i-1]].age, e.rob[e.readyList[i]].age)
+				e.rob.age[e.readyList[i-1]], e.rob.age[e.readyList[i]])
 		}
 	}
 }

@@ -6,38 +6,37 @@ import (
 )
 
 // Retire stage: drains up to RetireWidth completed uops per cycle from the
-// ROB head in program order, finalizes the figure statistics, prunes the
-// MOB, and feeds every retired load back through the speculation policy's
-// training hook.
+// ROB head in program order (reading the flat flag/done-cycle arrays),
+// finalizes the figure statistics, prunes the MOB, and feeds every retired
+// load back through the speculation policy's training hook.
 
 func (e *Engine) retire() {
 	for n := 0; n < e.cfg.RetireWidth && e.count > 0; n++ {
-		idx := e.head
-		en := &e.rob[idx]
-		if !en.done || en.doneCycle > e.now {
+		idx := int32(e.head)
+		if e.rob.flags[idx]&fDone == 0 || e.rob.doneCycle[idx] > e.now {
 			return
 		}
-		e.retireEntry(en)
-		en.valid = false
-		e.head = (e.head + 1) % len(e.rob)
+		e.retireEntry(idx)
+		e.rob.flags[idx] &^= fValid
+		e.head = (e.head + 1) % e.rob.size()
 		e.count--
 	}
 }
 
-func (e *Engine) retireEntry(en *entry) {
+func (e *Engine) retireEntry(idx int32) {
 	e.stats.Uops++
 	e.cycleRetired++
-	switch en.u.Kind {
+	switch e.rob.u[idx].Kind {
 	case uop.Load:
-		e.retireLoad(en)
+		e.retireLoad(idx)
 	case uop.STA:
 		e.stats.Stores++
-		e.mobGet(en.u.StoreID).staRetired = true
+		e.mob.flags[e.mobGet(e.rob.u[idx].StoreID)] |= mStaRetired
 	case uop.STD:
-		rec := e.mobGet(en.u.StoreID)
-		rec.stdRetired = true
-		if e.cfg.Barrier != nil && !rec.violated {
-			e.cfg.Barrier.RecordClean(rec.ip)
+		pos := e.mobGet(e.rob.u[idx].StoreID)
+		e.mob.flags[pos] |= mStdRetired
+		if e.cfg.Barrier != nil && e.mob.flags[pos]&mViolated == 0 {
+			e.cfg.Barrier.RecordClean(e.mob.ip[pos])
 		}
 		e.mobPrune()
 	case uop.Branch:
@@ -45,9 +44,11 @@ func (e *Engine) retireEntry(en *entry) {
 	}
 }
 
-func (e *Engine) retireLoad(en *entry) {
+func (e *Engine) retireLoad(idx int32) {
+	r := &e.rob
+	f := r.flags[idx]
 	e.stats.Loads++
-	switch en.level {
+	switch r.level[idx] {
 	case cache.L1:
 		e.stats.L1Hits++
 	case cache.L2:
@@ -60,15 +61,17 @@ func (e *Engine) retireLoad(en *entry) {
 	// Figure 1 classification bookkeeping.
 	c := &e.stats.Class
 	c.Loads++
-	predColl := en.pred.Colliding
+	conflicting := f&fConflicting != 0
+	colliding := f&fColliding != 0
+	predColl := r.pred[idx].Colliding
 	switch {
-	case !en.conflicting:
+	case !conflicting:
 		c.NotConflicting++
-	case en.colliding && predColl:
+	case colliding && predColl:
 		c.ACPC++
-	case en.colliding && !predColl:
+	case colliding && !predColl:
 		c.ACPNC++
-	case !en.colliding && predColl:
+	case !colliding && predColl:
 		c.ANCPC++
 	default:
 		c.ANCPNC++
@@ -76,17 +79,18 @@ func (e *Engine) retireLoad(en *entry) {
 
 	// Predictor training: the measurement tally stays engine-side, the
 	// predictors themselves learn through the policy seam.
-	e.stats.HM.Record(en.actualHit, en.predHit)
+	actualHit := f&fActualHit != 0
+	e.stats.HM.Record(actualHit, f&fPredHit != 0)
 	e.policy.TrainRetire(TrainEvent{
-		IP: en.u.IP, Addr: en.u.Addr, Now: e.now,
-		Colliding: en.colliding, Distance: en.collDist,
-		Hit: en.actualHit, Level: en.level,
+		IP: r.u[idx].IP, Addr: r.u[idx].Addr, Now: e.now,
+		Colliding: colliding, Distance: int(r.collDist[idx]),
+		Hit: actualHit, Level: r.level[idx],
 	})
 	if e.cfg.OnLoadRetire != nil {
 		e.cfg.OnLoadRetire(LoadEvent{
-			IP: en.u.IP, Addr: en.u.Addr,
-			Colliding: en.colliding, Distance: en.collDist,
-			Hit: en.actualHit, Conflicting: en.conflicting,
+			IP: r.u[idx].IP, Addr: r.u[idx].Addr,
+			Colliding: colliding, Distance: int(r.collDist[idx]),
+			Hit: actualHit, Conflicting: conflicting,
 		})
 	}
 }

@@ -2,15 +2,16 @@ package ooo
 
 import "loadsched/internal/uop"
 
-// Schedule/dispatch stage: offers operand-ready window entries to the
+// Schedule/dispatch stage: offers operand-ready window slots to the
 // execution ports oldest-first each cycle, pays down replay debt, and
 // applies the speculation policy's ordering and bank-steering decisions to
 // ready loads. Readiness is tracked event-driven (ready.go): completions
 // wake their register consumers into an age-ordered ready list, so the walk
-// below touches only ready entries instead of re-scanning the whole window.
-// Recovery bubbles (collision repair, late-discovered misses) gate the
-// whole stage. The age (= rename) order makes the first scheduler hold
-// noted per cycle the oldest one, which is what feeds the CPI stack.
+// below touches only ready slots — reading the ROB's parallel flag and age
+// arrays — instead of re-scanning the whole window. Recovery bubbles
+// (collision repair, late-discovered misses) gate the whole stage. The age
+// (= rename) order makes the first scheduler hold noted per cycle the
+// oldest one, which is what feeds the CPI stack.
 
 func (e *Engine) dispatch() {
 	e.processMissDetections()
@@ -30,16 +31,15 @@ func (e *Engine) dispatch() {
 	// same-cycle consumer, which (being younger) always lands after i.
 	for i := 0; i < len(e.readyList); i++ {
 		idx := e.readyList[i]
-		en := &e.rob[idx]
-		e.dispatchEntry(idx, en)
-		if en.dispatched {
+		e.dispatchEntry(idx)
+		if e.rob.flags[idx]&fDispatched != 0 {
 			dispatched = true
 		}
 	}
 	if dispatched {
 		kept := e.readyList[:0]
 		for _, idx := range e.readyList {
-			if !e.rob[idx].dispatched {
+			if e.rob.flags[idx]&fDispatched == 0 {
 				kept = append(kept, idx) // still held: re-offer next cycle
 			}
 		}
@@ -72,67 +72,67 @@ func (e *Engine) processMissDetections() {
 }
 
 // dispatchNaive is the retained reference scheduler (Config.NaiveSchedule):
-// the original full-window walk that polls sourcesReady on every entry. The
+// the original full-window walk that polls sourcesReady on every slot. The
 // differential property test pins the event-driven core against it.
 func (e *Engine) dispatchNaive() {
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
 	e.drainReplayDebt()
 	e.policy.BeginCycle()
 	for pos := 0; pos < e.count; pos++ {
-		idx := e.robIdx(pos)
-		en := &e.rob[idx]
-		if !en.valid || !en.inRS || en.dispatched {
+		idx := int32(e.robIdx(pos))
+		f := e.rob.flags[idx]
+		if f&fValid == 0 || f&fInRS == 0 || f&fDispatched != 0 {
 			continue
 		}
-		if !e.sourcesReady(en) {
+		if !e.sourcesReady(idx) {
 			continue
 		}
-		e.dispatchEntry(int32(idx), en)
+		e.dispatchEntry(idx)
 	}
 }
 
-// dispatchEntry offers one operand-ready entry to its execution port. Both
+// dispatchEntry offers one operand-ready slot to its execution port. Both
 // schedulers funnel through here, so port allocation, hold accounting and
 // completion are identical by construction.
-func (e *Engine) dispatchEntry(idx int32, en *entry) {
-	switch en.u.Kind {
+func (e *Engine) dispatchEntry(idx int32) {
+	switch e.rob.u[idx].Kind {
 	case uop.Load:
-		e.maybeDispatchLoad(idx, en)
+		e.maybeDispatchLoad(idx)
 	case uop.STA:
 		if e.memUsed < e.cfg.MemUnits {
 			e.memUsed++
-			e.dispatchSTA(en)
+			e.dispatchSTA(idx)
 		} else {
 			e.noteSchedHold(stallPort)
 		}
 	case uop.STD:
 		if e.stdUsed < e.cfg.STDPorts {
 			e.stdUsed++
-			e.dispatchSTD(en)
+			e.dispatchSTD(idx)
 		} else {
 			e.noteSchedHold(stallPort)
 		}
 	case uop.FPU:
 		if e.fpUsed < e.cfg.FPUnits {
 			e.fpUsed++
-			e.complete(en, e.cfg.latencyOf(uop.FPU))
+			e.complete(idx, e.cfg.latencyOf(uop.FPU))
 		} else {
 			e.noteSchedHold(stallPort)
 		}
 	case uop.Complex:
 		if e.cplxUsed < e.cfg.ComplexUnits {
 			e.cplxUsed++
-			e.complete(en, e.cfg.latencyOf(uop.Complex))
+			e.complete(idx, e.cfg.latencyOf(uop.Complex))
 		} else {
 			e.noteSchedHold(stallPort)
 		}
 	default: // IntALU, Branch, Nop
 		if e.intUsed < e.cfg.IntUnits {
 			e.intUsed++
-			e.complete(en, e.cfg.latencyOf(en.u.Kind))
-			if en.blockingBranch {
+			e.complete(idx, e.cfg.latencyOf(e.rob.u[idx].Kind))
+			if e.rob.flags[idx]&fBlockingBranch != 0 {
 				e.awaitingBranch = false
-				e.resumeAt = en.doneCycle + int64(e.cfg.FrontEndRefill)
+				e.resumeAt = e.rob.doneCycle[idx] + int64(e.cfg.FrontEndRefill)
 			}
 		} else {
 			e.noteSchedHold(stallPort)
@@ -142,21 +142,21 @@ func (e *Engine) dispatchEntry(idx int32, en *entry) {
 
 // maybeDispatchLoad applies classification and the active ordering scheme,
 // then executes the load if allowed.
-func (e *Engine) maybeDispatchLoad(idx int32, en *entry) {
+func (e *Engine) maybeDispatchLoad(idx int32) {
 	// Classification happens at schedule time: the first cycle the load's
 	// operands are ready (paper §2.1 definition of a conflicting load).
-	if !en.classified {
-		e.classifyLoad(en)
+	if e.rob.flags[idx]&fClassified == 0 {
+		e.classifyLoad(idx)
 	}
 	if e.memUsed >= e.cfg.MemUnits {
 		e.noteSchedHold(stallPort)
 		return
 	}
-	if !e.orderingAllows(en) {
+	if !e.orderingAllows(idx) {
 		e.noteSchedHold(stallOrdering)
 		return
 	}
-	d := e.policy.AdmitBank(loadView(en))
+	d := e.policy.AdmitBank(e.loadView(idx))
 	if d.Conflict {
 		e.stats.BankConflicts++
 	}
@@ -170,19 +170,19 @@ func (e *Engine) maybeDispatchLoad(idx int32, en *entry) {
 		e.noteSchedHold(stallBank)
 		return
 	}
-	en.bankDelay = d.Delay
+	e.rob.bankDelay[idx] = d.Delay
 	e.memUsed++
-	e.executeLoad(idx, en)
+	e.executeLoad(idx)
 }
 
 // orderingAllows applies the optional [Hess95] store-barrier constraint (a
 // MOB property layered on every scheme) and then the policy's ordering
 // decision.
-func (e *Engine) orderingAllows(en *entry) bool {
-	if e.cfg.Barrier != nil && e.barrierBlocked(en.olderStores) {
+func (e *Engine) orderingAllows(idx int32) bool {
+	if e.cfg.Barrier != nil && e.barrierBlocked(e.rob.olderStores[idx]) {
 		return false
 	}
-	return e.policy.AllowOrdering(loadView(en), e.mobView())
+	return e.policy.AllowOrdering(e.loadView(idx), e.mobView())
 }
 
 // drainReplayDebt spends owed replay slots against this cycle's ports.
@@ -197,46 +197,45 @@ func (e *Engine) drainReplayDebt() {
 	}
 }
 
-func (e *Engine) sourcesReady(en *entry) bool {
-	return e.producerReady(en.src1Prod, en.src1Seq) && e.producerReady(en.src2Prod, en.src2Seq)
+func (e *Engine) sourcesReady(idx int32) bool {
+	r := &e.rob
+	return e.producerReady(r.src1Prod[idx], r.src1Seq[idx]) &&
+		e.producerReady(r.src2Prod[idx], r.src2Seq[idx])
 }
 
 func (e *Engine) producerReady(idx int32, seq int64) bool {
 	if idx < 0 {
 		return true
 	}
-	p := &e.rob[idx]
-	if !p.valid || p.u.Seq != seq {
+	if e.rob.flags[idx]&fValid == 0 || e.rob.u[idx].Seq != seq {
 		return true // retired
 	}
-	return p.done && p.doneCycle <= e.now
+	return e.rob.flags[idx]&fDone != 0 && e.rob.doneCycle[idx] <= e.now
 }
 
 // complete marks a fixed-latency uop dispatched with its completion time,
 // which is final — so its register consumers can be woken immediately.
-func (e *Engine) complete(en *entry, lat int) {
-	en.dispatched = true
-	en.inRS = false
+func (e *Engine) complete(idx int32, lat int) {
+	e.rob.flags[idx] = e.rob.flags[idx]&^fInRS | fDispatched | fDone
 	e.rsCount--
-	en.done = true
-	en.doneCycle = e.now + int64(lat)
-	e.wakeDependents(en)
+	e.rob.doneCycle[idx] = e.now + int64(lat)
+	e.wakeDependents(idx)
 }
 
-func (e *Engine) dispatchSTA(en *entry) {
-	e.complete(en, e.cfg.LatSTA)
-	rec := e.mobGet(en.u.StoreID)
-	rec.staExec = true
-	rec.staExecCycle = en.doneCycle
+func (e *Engine) dispatchSTA(idx int32) {
+	e.complete(idx, e.cfg.LatSTA)
+	pos := e.mobGet(e.rob.u[idx].StoreID)
+	e.mob.flags[pos] |= mStaExec
+	e.mob.staExecCycle[pos] = e.rob.doneCycle[idx]
 	// The store allocates its line (write-allocate) once its address is
 	// known; timing-wise the fill rides the store buffer, so no load-visible
 	// latency is modelled here.
-	e.hier.Access(en.u.Addr)
+	e.hier.Access(e.rob.u[idx].Addr)
 }
 
-func (e *Engine) dispatchSTD(en *entry) {
-	e.complete(en, e.cfg.LatSTD)
-	rec := e.mobGet(en.u.StoreID)
-	rec.stdExec = true
-	rec.stdExecCyc = en.doneCycle
+func (e *Engine) dispatchSTD(idx int32) {
+	e.complete(idx, e.cfg.LatSTD)
+	pos := e.mobGet(e.rob.u[idx].StoreID)
+	e.mob.flags[pos] |= mStdExec
+	e.mob.stdExecCyc[pos] = e.rob.doneCycle[idx]
 }

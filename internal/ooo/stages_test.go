@@ -76,13 +76,13 @@ func TestMOBPrunedAtRetire(t *testing.T) {
 	if st.Stores == 0 {
 		t.Fatalf("no stores retired")
 	}
-	if e.mobFirst == 0 {
-		t.Fatalf("mobFirst = 0: retired stores were never pruned")
+	if e.mob.first == 0 {
+		t.Fatalf("mob.first = 0: retired stores were never pruned")
 	}
 	// Only in-flight stores may remain; the rename pool bounds those.
-	if len(e.mob) > cfg.RenamePool {
+	if e.mob.capacity() > cfg.RenamePool {
 		t.Fatalf("MOB holds %d records after %d uops, want <= %d in-flight",
-			len(e.mob), st.Uops, cfg.RenamePool)
+			e.mob.capacity(), st.Uops, cfg.RenamePool)
 	}
 }
 

@@ -2,9 +2,10 @@ package predict
 
 // Bimodal is the classic per-address table of saturating counters, indexed by
 // a hash of the key with no history. It is the simplest component predictor
-// the paper combines into bank predictor B.
+// the paper combines into bank predictor B. The counters live in a flat
+// ctrTable byte array.
 type Bimodal struct {
-	table       []SatCounter
+	table       ctrTable
 	indexBits   uint
 	counterBits uint
 }
@@ -13,7 +14,7 @@ type Bimodal struct {
 // counterBits each.
 func NewBimodal(indexBits, counterBits uint) *Bimodal {
 	b := &Bimodal{indexBits: indexBits, counterBits: counterBits}
-	b.Reset()
+	b.table = newCtrTable(1<<indexBits, counterBits, satInit(counterBits))
 	return b
 }
 
@@ -21,26 +22,19 @@ func (b *Bimodal) index(key uint64) uint64 { return hashIP(key) & mask(b.indexBi
 
 // Predict implements Binary.
 func (b *Bimodal) Predict(key uint64) Prediction {
-	c := b.table[b.index(key)]
-	return Prediction{Taken: c.Taken(), Confidence: c.Confidence()}
+	return b.table.predict(b.index(key))
 }
 
 // Update implements Binary.
 func (b *Bimodal) Update(key uint64, outcome bool) {
-	b.table[b.index(key)].Train(outcome)
+	b.table.train(b.index(key), outcome)
 }
 
 // Reset implements Binary. The table is allocated once and reinitialized in
 // place, so a reset predictor is reusable without regrowing the heap.
 func (b *Bimodal) Reset() {
-	if b.table == nil {
-		b.table = make([]SatCounter, 1<<b.indexBits)
-	}
-	init := NewSatCounter(b.counterBits)
-	for i := range b.table {
-		b.table[i] = init
-	}
+	b.table.reset()
 }
 
 // Size returns the number of table entries.
-func (b *Bimodal) Size() int { return len(b.table) }
+func (b *Bimodal) Size() int { return len(b.table.v) }

@@ -3,15 +3,14 @@ package predict
 // GShare is McFarling's global-history predictor: one pattern table indexed
 // by the XOR of the key hash with a global outcome history. The paper's
 // hybrid HMP uses an 11-outcome load-global history; bank predictors use a
-// history of recent bank outcomes.
+// history of recent bank outcomes. The counters live in a flat ctrTable
+// byte array.
 type GShare struct {
-	table       []SatCounter
+	table       ctrTable
 	history     uint64
 	indexBits   uint
 	historyLen  uint
 	counterBits uint
-	initValue   uint8
-	biased      bool
 }
 
 // NewGShare returns a gshare predictor with 2^indexBits counters and a
@@ -19,7 +18,7 @@ type GShare struct {
 // not required; the history is folded to the index width).
 func NewGShare(indexBits, historyLen, counterBits uint) *GShare {
 	g := &GShare{indexBits: indexBits, historyLen: historyLen, counterBits: counterBits}
-	g.Reset()
+	g.table = newCtrTable(1<<indexBits, counterBits, satInit(counterBits))
 	return g
 }
 
@@ -34,13 +33,12 @@ func (g *GShare) index(key uint64) uint64 {
 
 // Predict implements Binary.
 func (g *GShare) Predict(key uint64) Prediction {
-	c := g.table[g.index(key)]
-	return Prediction{Taken: c.Taken(), Confidence: c.Confidence()}
+	return g.table.predict(g.index(key))
 }
 
 // Update implements Binary.
 func (g *GShare) Update(key uint64, outcome bool) {
-	g.table[g.index(key)].Train(outcome)
+	g.table.train(g.index(key), outcome)
 	g.history <<= 1
 	if outcome {
 		g.history |= 1
@@ -51,8 +49,7 @@ func (g *GShare) Update(key uint64, outcome bool) {
 // adapters (hit-miss prediction) use 0 so shared entries default strongly to
 // the common outcome.
 func (g *GShare) WithInit(v uint8) *GShare {
-	g.initValue = v
-	g.biased = true
+	g.table.init = v
 	g.Reset()
 	return g
 }
@@ -60,16 +57,7 @@ func (g *GShare) WithInit(v uint8) *GShare {
 // Reset implements Binary. The table is allocated once and reinitialized in
 // place, so a reset predictor is reusable without regrowing the heap.
 func (g *GShare) Reset() {
-	if g.table == nil {
-		g.table = make([]SatCounter, 1<<g.indexBits)
-	}
-	c := NewSatCounter(g.counterBits)
-	if g.biased {
-		c.value = g.initValue
-	}
-	for i := range g.table {
-		g.table[i] = c
-	}
+	g.table.reset()
 	g.history = 0
 }
 

@@ -6,41 +6,43 @@ package predict
 // spreads aliases so that two keys that collide in one bank rarely collide in
 // another. The paper's hybrid HMP uses 3 tables of 1K entries over a
 // 20-outcome history; bank predictors A and C use a 17-outcome history.
+//
+// The three banks live in ONE flat ctrTable: bank b occupies entries
+// [b<<indexBits, (b+1)<<indexBits), so a vote touches one byte array.
 type GSkew struct {
-	banks       [3][]SatCounter
+	banks       ctrTable
 	history     uint64
 	indexBits   uint
 	historyLen  uint
 	counterBits uint
-	initValue   uint8
-	biased      bool
 }
 
 // NewGSkew returns a gskew predictor with three 2^indexBits-entry banks and a
 // historyLen-outcome global history.
 func NewGSkew(indexBits, historyLen, counterBits uint) *GSkew {
 	g := &GSkew{indexBits: indexBits, historyLen: historyLen, counterBits: counterBits}
-	g.Reset()
+	g.banks = newCtrTable(3<<indexBits, counterBits, satInit(counterBits))
 	return g
 }
 
 // skewHash mixes key and history with a per-bank multiplier so that the three
-// bank indices are decorrelated. This stands in for the H/H^-1 skewing
-// functions of [Mich97]; only the decorrelation property matters here.
+// bank indices are decorrelated, then offsets into the bank's slice of the
+// flat table. This stands in for the H/H^-1 skewing functions of [Mich97];
+// only the decorrelation property matters here.
 func (g *GSkew) skewHash(bank int, key uint64) uint64 {
 	var muls = [3]uint64{0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9}
 	v := hashIP(key) ^ (g.history & mask(g.historyLen))
 	v *= muls[bank]
 	v ^= v >> 31
-	return v & mask(g.indexBits)
+	return uint64(bank)<<g.indexBits | v&mask(g.indexBits)
 }
 
-// vote tallies the three banks for key; it returns the per-bank predictions
-// and the majority direction.
+// vote tallies the three banks for key; it returns the majority direction
+// and the agreeing bank count.
 func (g *GSkew) vote(key uint64) (taken bool, agree int) {
 	votes := 0
 	for b := 0; b < 3; b++ {
-		if g.banks[b][g.skewHash(b, key)].Taken() {
+		if g.banks.taken(g.skewHash(b, key)) {
 			votes++
 		}
 	}
@@ -66,11 +68,11 @@ func (g *GSkew) Predict(key uint64) Prediction {
 func (g *GSkew) Update(key uint64, outcome bool) {
 	predicted, _ := g.vote(key)
 	for b := 0; b < 3; b++ {
-		c := &g.banks[b][g.skewHash(b, key)]
-		if predicted == outcome && c.Taken() != outcome {
+		i := g.skewHash(b, key)
+		if predicted == outcome && g.banks.taken(i) != outcome {
 			continue // correct overall; do not disturb the dissenting bank
 		}
-		c.Train(outcome)
+		g.banks.train(i, outcome)
 	}
 	g.history <<= 1
 	if outcome {
@@ -81,26 +83,15 @@ func (g *GSkew) Update(key uint64, outcome bool) {
 // WithInit sets the initial counter value and re-initializes; see
 // GShare.WithInit.
 func (g *GSkew) WithInit(v uint8) *GSkew {
-	g.initValue = v
-	g.biased = true
+	g.banks.init = v
 	g.Reset()
 	return g
 }
 
-// Reset implements Binary. The banks are allocated once and reinitialized in
-// place, so a reset predictor is reusable without regrowing the heap.
+// Reset implements Binary. The flat bank table is allocated once and
+// reinitialized in place, so a reset predictor is reusable without regrowing
+// the heap.
 func (g *GSkew) Reset() {
-	c := NewSatCounter(g.counterBits)
-	if g.biased {
-		c.value = g.initValue
-	}
-	for b := 0; b < 3; b++ {
-		if g.banks[b] == nil {
-			g.banks[b] = make([]SatCounter, 1<<g.indexBits)
-		}
-		for i := range g.banks[b] {
-			g.banks[b][i] = c
-		}
-	}
+	g.banks.reset()
 	g.history = 0
 }

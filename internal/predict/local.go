@@ -4,15 +4,15 @@ package predict
 // hit-miss prediction ("instead of recording the taken/not-taken history of
 // each branch, we record the hit/miss history of each load"). Level one is a
 // tagless table of per-address history registers; level two is a pattern
-// table of saturating counters indexed by the history value.
+// table of saturating counters indexed by the history value. Both levels
+// are flat primitive arrays: histories are uint32 (historyLen is at most
+// 24 bits) and the pattern counters live in a ctrTable byte array.
 type Local struct {
-	histories   []uint64
-	pattern     []SatCounter
+	histories   []uint32
+	pattern     ctrTable
 	indexBits   uint
 	historyLen  uint
 	counterBits uint
-	initValue   uint8
-	biased      bool
 }
 
 // NewLocal returns a local predictor with 2^indexBits history registers of
@@ -24,7 +24,8 @@ func NewLocal(indexBits, historyLen, counterBits uint) *Local {
 		panic("predict: local history length out of range")
 	}
 	l := &Local{indexBits: indexBits, historyLen: historyLen, counterBits: counterBits}
-	l.Reset()
+	l.histories = make([]uint32, 1<<indexBits)
+	l.pattern = newCtrTable(1<<historyLen, counterBits, satInit(counterBits))
 	return l
 }
 
@@ -32,17 +33,15 @@ func (l *Local) index(key uint64) uint64 { return hashIP(key) & mask(l.indexBits
 
 // Predict implements Binary.
 func (l *Local) Predict(key uint64) Prediction {
-	h := l.histories[l.index(key)]
-	c := l.pattern[h]
-	return Prediction{Taken: c.Taken(), Confidence: c.Confidence()}
+	return l.pattern.predict(uint64(l.histories[l.index(key)]))
 }
 
 // Update implements Binary.
 func (l *Local) Update(key uint64, outcome bool) {
 	i := l.index(key)
 	h := l.histories[i]
-	l.pattern[h].Train(outcome)
-	h = (h << 1) & mask(l.historyLen)
+	l.pattern.train(uint64(h), outcome)
+	h = (h << 1) & uint32(mask(l.historyLen))
 	if outcome {
 		h |= 1
 	}
@@ -55,8 +54,7 @@ func (l *Local) Update(key uint64, outcome bool) {
 // single stray outcome in a shared pattern entry does not flip predictions
 // for every load whose history maps there.
 func (l *Local) WithInit(v uint8) *Local {
-	l.initValue = v
-	l.biased = true
+	l.pattern.init = v
 	l.Reset()
 	return l
 }
@@ -64,18 +62,8 @@ func (l *Local) WithInit(v uint8) *Local {
 // Reset implements Binary. Both levels are allocated once and reinitialized
 // in place, so a reset predictor is reusable without regrowing the heap.
 func (l *Local) Reset() {
-	if l.histories == nil {
-		l.histories = make([]uint64, 1<<l.indexBits)
-		l.pattern = make([]SatCounter, 1<<l.historyLen)
-	}
 	clear(l.histories)
-	c := NewSatCounter(l.counterBits)
-	if l.biased {
-		c.value = l.initValue
-	}
-	for i := range l.pattern {
-		l.pattern[i] = c
-	}
+	l.pattern.reset()
 }
 
 // Size returns the number of level-one entries.

@@ -103,6 +103,71 @@ func boundaryBias(max uint8) int {
 	return 1
 }
 
+// ctrTable is a flat table of n-bit saturating counters in
+// structure-of-arrays form: one raw byte per counter plus a single
+// table-wide saturation value and init value, instead of a []SatCounter
+// whose every entry carries its own max. Half the footprint, and reset is a
+// dense byte fill. Semantics (Taken boundary, Train clamping, Confidence
+// scale) are identical to SatCounter's, per entry.
+type ctrTable struct {
+	v    []uint8
+	max  uint8
+	init uint8
+}
+
+// newCtrTable builds a size-entry table of counterBits-bit counters
+// initialized to init (pass satInit(counterBits) for the canonical
+// weakly-not-taken start).
+func newCtrTable(size int, counterBits uint, init uint8) ctrTable {
+	if counterBits < 1 || counterBits > 7 {
+		panic(fmt.Sprintf("predict: invalid counter width %d", counterBits))
+	}
+	t := ctrTable{v: make([]uint8, size), max: uint8(1)<<counterBits - 1, init: init}
+	t.reset()
+	return t
+}
+
+// satInit is the weakly-not-taken initial value of a counterBits-bit
+// counter — what NewSatCounter starts at.
+func satInit(counterBits uint) uint8 { return (uint8(1)<<counterBits - 1) / 2 }
+
+// reset refills every counter with the init value, in place.
+func (t *ctrTable) reset() {
+	for i := range t.v {
+		t.v[i] = t.init
+	}
+}
+
+// taken reports counter i's predicted direction (upper half of the range).
+func (t *ctrTable) taken(i uint64) bool { return t.v[i] > t.max/2 }
+
+// train moves counter i toward the outcome, saturating.
+func (t *ctrTable) train(i uint64, outcome bool) {
+	if outcome {
+		if t.v[i] < t.max {
+			t.v[i]++
+		}
+	} else if t.v[i] > 0 {
+		t.v[i]--
+	}
+}
+
+// confidence returns counter i's distance from the decision boundary, on
+// SatCounter.Confidence's scale.
+func (t *ctrTable) confidence(i uint64) int {
+	mid := int(t.max) / 2
+	v := int(t.v[i])
+	if v > mid {
+		return v - mid - 1 + boundaryBias(t.max)
+	}
+	return mid - v
+}
+
+// predict bundles counter i's direction and confidence.
+func (t *ctrTable) predict(i uint64) Prediction {
+	return Prediction{Taken: t.taken(i), Confidence: t.confidence(i)}
+}
+
 func mask(bits uint) uint64 { return (uint64(1) << bits) - 1 }
 
 // hashIP folds an instruction pointer so that low entropy in the byte-aligned

@@ -4,28 +4,20 @@ package predict
 // paper): two component predictors plus a per-key table of 2-bit chooser
 // counters that learns which component to trust for each key. Where the
 // paper's hybrid HMP votes by majority, the tournament *selects* — useful
-// when one component dominates for some loads and the other elsewhere.
+// when one component dominates for some loads and the other elsewhere. The
+// chooser counters live in a flat ctrTable byte array.
 type Tournament struct {
 	a, b      Binary
-	chooser   []SatCounter
+	chooser   ctrTable
 	indexBits uint
 }
 
 // NewTournament builds a tournament of a and b with 2^indexBits chooser
 // counters. The chooser predicts "use B" when its counter is high.
 func NewTournament(a, b Binary, indexBits uint) *Tournament {
-	t := &Tournament{a: a, b: b, indexBits: indexBits}
-	t.resetChooser()
-	return t
-}
-
-func (t *Tournament) resetChooser() {
-	if t.chooser == nil {
-		t.chooser = make([]SatCounter, 1<<t.indexBits)
-	}
-	init := NewSatCounter(2)
-	for i := range t.chooser {
-		t.chooser[i] = init
+	return &Tournament{
+		a: a, b: b, indexBits: indexBits,
+		chooser: newCtrTable(1<<indexBits, 2, satInit(2)),
 	}
 }
 
@@ -33,7 +25,7 @@ func (t *Tournament) index(key uint64) uint64 { return hashIP(key) & mask(t.inde
 
 // Predict implements Binary.
 func (t *Tournament) Predict(key uint64) Prediction {
-	if t.chooser[t.index(key)].Taken() {
+	if t.chooser.taken(t.index(key)) {
 		return t.b.Predict(key)
 	}
 	return t.a.Predict(key)
@@ -45,7 +37,7 @@ func (t *Tournament) Update(key uint64, outcome bool) {
 	pa := t.a.Predict(key).Taken == outcome
 	pb := t.b.Predict(key).Taken == outcome
 	if pa != pb {
-		t.chooser[t.index(key)].Train(pb)
+		t.chooser.train(t.index(key), pb)
 	}
 	t.a.Update(key, outcome)
 	t.b.Update(key, outcome)
@@ -55,5 +47,5 @@ func (t *Tournament) Update(key uint64, outcome bool) {
 func (t *Tournament) Reset() {
 	t.a.Reset()
 	t.b.Reset()
-	t.resetChooser()
+	t.chooser.reset()
 }

@@ -54,13 +54,13 @@ func TestTournamentChooserOnlyTrainsOnDisagreement(t *testing.T) {
 	// at its initial state.
 	a, b := &constPred{taken: true}, &constPred{taken: true}
 	tr := NewTournament(a, b, 4)
-	before := make([]SatCounter, len(tr.chooser))
-	copy(before, tr.chooser)
+	before := make([]uint8, len(tr.chooser.v))
+	copy(before, tr.chooser.v)
 	for i := 0; i < 50; i++ {
 		tr.Update(uint64(i), true)
 	}
-	for i := range tr.chooser {
-		if tr.chooser[i] != before[i] {
+	for i := range tr.chooser.v {
+		if tr.chooser.v[i] != before[i] {
 			t.Fatal("chooser trained despite agreement")
 		}
 	}

@@ -1,0 +1,269 @@
+package runner
+
+import (
+	"time"
+
+	"loadsched/internal/ooo"
+	"loadsched/internal/trace"
+)
+
+// Batched lockstep execution. A sweep's job list is mostly many machine
+// configurations over few workloads, and every engine replaying one
+// trace.Profile reads the same materialized recording. Stepping those
+// engines one full run at a time streams the whole recording through the
+// data cache once per engine; stepping them in lockstep over a shared
+// window reads each stretch of the recording once and fans it out to every
+// engine in the unit while it is still resident.
+// Variables rather than constants only so the lockstep differential test
+// can shrink them to force windowing on small jobs.
+var (
+	// batchWindowUops bounds how far the unit's engines may spread through
+	// the shared recording: no engine's cursor runs more than one window
+	// past the slowest engine's cursor. The window is deliberately coarse —
+	// each engine carries its own cache model and predictor tables, so a
+	// tight interleave would evict that per-engine state every switch for
+	// no locality gain; the window only needs to cap how much of the
+	// recording is live at once. A unit whose jobs all fit inside one
+	// window skips lockstep entirely and runs sequentially (see stepSlots).
+	batchWindowUops = 65536
+	// batchStepStride is the retirement quantum handed to Engine.StepRun
+	// inside a window — coarse for the same reason, while still letting a
+	// finished engine surface between strides.
+	batchStepStride = 4096
+)
+
+// batchSlot is one simulation a unit owes: the job it answers and the
+// machine to build for it, the engine and cursor while attached (the
+// cursor is held separately because the window logic keys off Cursor.Pos),
+// and — for cache-owned slots — the pending release claim plus any in-unit
+// duplicate submissions riding the result. Engines attach lazily, right
+// before a slot steps, and detach back to the reuse pool the moment it
+// finishes, so sequential slots of one machine shape share one engine.
+type batchSlot struct {
+	job       int
+	uops      int
+	demand    int
+	cfg       ooo.Config
+	profile   trace.Profile
+	desc      string
+	pooled    bool
+	eng       *ooo.Engine
+	cur       *trace.Cursor
+	done      bool
+	stats     ooo.Stats
+	release   func(ooo.Stats, bool)
+	followers []int
+}
+
+// attach gives the slot its cursor and an engine, reviving a parked engine
+// of the same machine shape when one is free.
+func (p *Pool) attach(s *batchSlot) {
+	s.cur = trace.Replay(s.profile)
+	if s.pooled {
+		if s.eng = p.engines.take(s.desc); s.eng == nil || !s.eng.Reset(s.cur) {
+			s.eng = ooo.NewEngine(s.cfg, s.cur)
+			p.m.engineBuilds.Add(1)
+		} else {
+			p.m.engineReuses.Add(1)
+		}
+		return
+	}
+	s.eng = ooo.NewEngine(s.cfg, s.cur)
+}
+
+// detach parks the finished slot's engine for reuse.
+func (p *Pool) detach(s *batchSlot) {
+	if s.pooled {
+		p.engines.put(s.desc, s.eng)
+	}
+	s.eng, s.cur = nil, nil
+}
+
+// RunBatch executes every job and returns their statistics in job order.
+// Jobs are grouped by Profile into units of bounded size; each unit runs as
+// one Map task that steps its engines in lockstep over the profile's shared
+// recording. Results are identical to running each job alone: an engine's
+// simulation is a pure function of its job, and StepRun chunking does not
+// enter into it. Identical describable jobs (equal keys) are simulated once
+// and share the result, exactly as under Do.
+func (p *Pool) RunBatch(jobs []Job) []ooo.Stats {
+	out := make([]ooo.Stats, len(jobs))
+	units := batchUnits(jobs, p.Workers())
+	Map(p, len(units), func(u int) struct{} {
+		p.runUnit(jobs, units[u], out)
+		return struct{}{}
+	})
+	return out
+}
+
+// batchUnits groups job indexes by Profile in first-seen order and chunks
+// each group into units. The unit size balances cache locality (more
+// engines per window read the recording fewer times) against parallelism
+// (units are the Map scheduling grain): ceil(total/workers), clamped to
+// [1, 16].
+func batchUnits(jobs []Job, workers int) [][]int {
+	size := (len(jobs) + workers - 1) / workers
+	if size > 16 {
+		size = 16
+	}
+	if size < 1 {
+		size = 1
+	}
+	var order []trace.Profile
+	groups := map[trace.Profile][]int{}
+	for i, j := range jobs {
+		if _, seen := groups[j.Profile]; !seen {
+			order = append(order, j.Profile)
+		}
+		groups[j.Profile] = append(groups[j.Profile], i)
+	}
+	var units [][]int
+	for _, prof := range order {
+		idxs := groups[prof]
+		for len(idxs) > size {
+			units = append(units, idxs[:size])
+			idxs = idxs[size:]
+		}
+		if len(idxs) > 0 {
+			units = append(units, idxs)
+		}
+	}
+	return units
+}
+
+// runUnit resolves one unit: each job is served from the cache when it can
+// be, deduplicated against an identical in-unit owner, or given an engine
+// slot; the slots then step together and publish.
+func (p *Pool) runUnit(jobs []Job, idxs []int, out []ooo.Stats) {
+	start := time.Now()
+	slots := make([]*batchSlot, 0, len(idxs))
+	owners := map[Key]*batchSlot{}
+	// If stepping panics, abandon every still-unreleased claim so waiters
+	// on other goroutines re-claim instead of hanging on our entries.
+	defer func() {
+		for _, s := range slots {
+			if s.release != nil {
+				s.release(ooo.Stats{}, false)
+			}
+		}
+	}()
+	for _, i := range idxs {
+		j := jobs[i]
+		p.m.jobs.Add(1)
+		cfg := j.Build()
+		cfg.WarmupUops = j.Warmup
+		desc, describable := ConfigKey(cfg)
+		var release func(ooo.Stats, bool)
+		if p.cache == nil || !describable {
+			p.m.uncached.Add(1)
+		} else {
+			k := Key{Machine: desc, Profile: j.Profile, Uops: j.Uops, Warmup: j.Warmup}
+			if own, dup := owners[k]; dup {
+				// An identical job already owns a slot in this unit.
+				// Acquiring again would block on our own unpublished claim;
+				// ride the owner's slot instead.
+				own.followers = append(own.followers, i)
+				p.m.coalesced.Add(1)
+				continue
+			}
+			st, how, rel := p.cache.acquire(k)
+			if rel == nil {
+				out[i] = st
+				switch how {
+				case memoHit:
+					p.m.memoHits.Add(1)
+				case diskHit:
+					p.m.diskHits.Add(1)
+				case coalesced:
+					p.m.coalesced.Add(1)
+				}
+				continue
+			}
+			release = rel
+		}
+		s := &batchSlot{
+			job: i, uops: j.Uops, demand: j.Uops + j.Warmup,
+			cfg: cfg, profile: j.Profile, desc: desc, pooled: describable,
+			release: release,
+		}
+		if release != nil {
+			owners[Key{Machine: desc, Profile: j.Profile, Uops: j.Uops, Warmup: j.Warmup}] = s
+		}
+		slots = append(slots, s)
+	}
+	p.stepSlots(slots)
+	for _, s := range slots {
+		out[s.job] = s.stats
+		for _, f := range s.followers {
+			out[f] = s.stats
+		}
+		if s.release != nil {
+			s.release(s.stats, true)
+			s.release = nil
+		}
+		p.m.simulated.Add(1)
+	}
+	p.m.simNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// stepSlots advances a unit's simulations to completion. A unit whose jobs
+// all fit inside one window has nothing to interleave — lockstep would run
+// the slots back-to-back anyway, just with every engine resident at once —
+// so it runs them strictly sequentially, each slot detaching its engine
+// before the next attaches; a run of same-shape slots then recycles a
+// single engine, exactly as the unbatched path did. Longer jobs run
+// windowed lockstep: each round picks the laggard cursor's position,
+// extends it by one window, and steps every live engine up to that limit.
+// Engines retire and stall independently — a short job finishes (EndRun)
+// and detaches while its unit mates continue, and a stalled engine only
+// gates the others through the window bound, never cycle by cycle.
+func (p *Pool) stepSlots(slots []*batchSlot) {
+	lockstep := len(slots) > 1
+	if lockstep {
+		longest := 0
+		for _, s := range slots {
+			if s.demand > longest {
+				longest = s.demand
+			}
+		}
+		lockstep = longest > batchWindowUops
+	}
+	if !lockstep {
+		for _, s := range slots {
+			p.attach(s)
+			s.stats = s.eng.Run(s.uops)
+			s.done = true
+			p.detach(s)
+		}
+		return
+	}
+	for _, s := range slots {
+		p.attach(s)
+		s.eng.BeginRun(s.uops)
+	}
+	for active := len(slots); active > 0; {
+		minPos := -1
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			if pos := s.cur.Pos(); minPos < 0 || pos < minPos {
+				minPos = pos
+			}
+		}
+		limit := minPos + batchWindowUops
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			for !s.done && s.cur.Pos() < limit {
+				s.done = s.eng.StepRun(batchStepStride)
+			}
+			if s.done {
+				s.stats = s.eng.EndRun()
+				p.detach(s)
+				active--
+			}
+		}
+	}
+}

@@ -113,14 +113,16 @@ type Counters struct {
 	Coalesced int64
 	// Uncached ran outside the cache: non-describable configs.
 	Uncached int64
-	// MapTasks counts fan-out units dispatched through Map, including the
-	// Do calls Run routes through it.
+	// MapTasks counts fan-out units dispatched through Map. Run submits one
+	// task per batch unit (a group of same-workload jobs stepped in
+	// lockstep), so for Run job lists this counts units, not jobs.
 	MapTasks int64
 	// EngineBuilds and EngineReuses split the executed describable
 	// simulations by whether a fresh engine was constructed or a pooled one
 	// was Reset and reused.
 	EngineBuilds, EngineReuses int64
-	// SimTime is wall time spent inside simulations, summed over jobs.
+	// SimTime is wall time spent inside simulations, summed over Do calls
+	// and batch units; it exceeds elapsed time when workers overlap.
 	SimTime time.Duration
 }
 
@@ -249,9 +251,11 @@ func (p *Pool) runPooled(desc string, cfg ooo.Config, j Job) ooo.Stats {
 
 // Run executes every job and returns their statistics in job order,
 // regardless of completion order. Identical jobs (equal keys) are simulated
-// once and share the result.
+// once and share the result. Run delegates to RunBatch, so jobs sharing a
+// workload execute in lockstep over the shared recording; results are
+// identical to submitting each job through Do.
 func (p *Pool) Run(jobs []Job) []ooo.Stats {
-	return Map(p, len(jobs), func(i int) ooo.Stats { return p.Do(jobs[i]) })
+	return p.RunBatch(jobs)
 }
 
 // Map evaluates fn(0..n-1) on the pool's workers and returns the results in

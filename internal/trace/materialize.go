@@ -110,8 +110,10 @@ type Cursor struct {
 	buf []uop.UOp
 	pos int
 	// tail streams the portion beyond maxSharedUops from a private
-	// generator (nil until the cap is crossed).
-	tail *Generator
+	// generator (nil until the cap is crossed); tailN counts the uops it
+	// has emitted, so Pos keeps reporting total consumption.
+	tail  *Generator
+	tailN int
 }
 
 // Replay returns a cursor over p's shared recording.
@@ -131,8 +133,14 @@ func (c *Cursor) Next() uop.UOp {
 	return c.nextSlow()
 }
 
+// Pos reports how many uops the cursor has consumed so far. Batch drivers
+// (runner.RunBatch) use it to keep a group of engines inside one shared
+// window of the recording.
+func (c *Cursor) Pos() int { return c.pos + c.tailN }
+
 func (c *Cursor) nextSlow() uop.UOp {
 	if c.tail != nil {
+		c.tailN++
 		return c.tail.Next()
 	}
 	if c.pos >= maxSharedUops {
@@ -144,6 +152,7 @@ func (c *Cursor) nextSlow() uop.UOp {
 			g.Next()
 		}
 		c.tail = g
+		c.tailN++
 		return g.Next()
 	}
 	c.buf = c.rec.atLeast(c.pos + 1)
