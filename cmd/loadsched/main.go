@@ -91,6 +91,8 @@ func main() {
 		runTournament(args)
 	case "serve":
 		runServe(args)
+	case "trace":
+		runTraceCmd(args)
 	case "record":
 		runRecord(args)
 	case "replay":
@@ -114,8 +116,9 @@ commands:
   cpistack [flags]        attribute every cycle to a stall cause per group
   tournament [flags]      race the related-work policy zoo per trace group
   serve [flags]           HTTP job API: -addr -store -j -jobs -queue
-  record -o f [flags]     serialize a synthetic trace to a file
-  replay -f f [flags]     simulate a recorded trace file
+  trace record|info       trace-file toolbox: write (v2/v1), validate, inspect
+  record -o f [flags]     serialize a synthetic trace to a file (= trace record)
+  replay -f f [flags]     simulate a recorded trace file (streamed, constant RSS)
   traces                  list trace groups and members
 run 'loadsched <cmd> -h' style flags: -uops -warmup -traces -quick -j
 plus -format table|json|csv, -out DIR, -v, -cpuprofile -memprofile -trace;

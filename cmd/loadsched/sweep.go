@@ -110,10 +110,13 @@ func runReplay(args []string) {
 	if *file == "" {
 		fatal("replay: -f <file> is required")
 	}
-	rd, err := trace.ReadTraceFile(*file)
+	// Stream the file instead of materializing it: replay memory stays
+	// O(one decoded chunk) no matter how long the trace is.
+	rd, err := trace.StreamTraceFile(*file)
 	if err != nil {
 		fatal("replay: %v", err)
 	}
+	defer rd.Close()
 	cfg := ooo.DefaultConfig()
 	cfg.Window = *window
 	cfg.WarmupUops = *warmup
@@ -127,7 +130,7 @@ func runReplay(args []string) {
 	}
 	n := *uops
 	if n <= 0 {
-		n = rd.Len() - *warmup
+		n = int(rd.Uops()) - *warmup
 		if n <= 0 {
 			fatal("replay: trace shorter than warmup")
 		}

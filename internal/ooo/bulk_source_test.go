@@ -1,0 +1,52 @@
+package ooo
+
+import (
+	"testing"
+
+	"loadsched/internal/memdep"
+	"loadsched/internal/trace"
+	"loadsched/internal/uop"
+)
+
+// scalarOnly strips a source's NextBatch so the engine's fallback scalar
+// fetch path is exercised even when the underlying source is bulk-capable.
+type scalarOnly struct{ src Source }
+
+func (s scalarOnly) Next() uop.UOp { return s.src.Next() }
+
+// TestBulkSourceMatchesScalar pins the fetch-buffer seam: feeding the
+// engine through BulkSource.NextBatch must produce bit-identical stats to
+// feeding it one uop at a time. The buffering is an engine-internal detail
+// and must never be observable in results.
+func TestBulkSourceMatchesScalar(t *testing.T) {
+	p := trace.Profile{Name: "bulk-eq", Seed: 77}
+	cfg := DefaultConfig()
+	cfg.Scheme = memdep.Inclusive
+	cfg.CHT = memdep.NewFullCHT(1024, 4, 2, true)
+	cfg.WarmupUops = 5000
+
+	bulk := NewEngine(cfg, trace.Replay(p))
+	cfg2 := cfg
+	cfg2.CHT = memdep.NewFullCHT(1024, 4, 2, true)
+	scalar := NewEngine(cfg2, scalarOnly{src: trace.Replay(p)})
+
+	sb := bulk.Run(60000)
+	ss := scalar.Run(60000)
+	if sb != ss {
+		t.Fatalf("bulk-fed stats diverge from scalar-fed:\nbulk:   %+v\nscalar: %+v", sb, ss)
+	}
+}
+
+// TestResetClearsFetchBuffer pins Reset semantics with buffered fetch: a
+// reset engine re-fed from a fresh cursor must reproduce its first run.
+func TestResetClearsFetchBuffer(t *testing.T) {
+	p := trace.Profile{Name: "bulk-reset", Seed: 78}
+	cfg := DefaultConfig()
+	e := NewEngine(cfg, trace.Replay(p))
+	first := e.Run(30000)
+	e.Reset(trace.Replay(p))
+	second := e.Run(30000)
+	if first != second {
+		t.Fatalf("reset run diverges:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -33,6 +33,20 @@ type Source interface {
 	Next() uop.UOp
 }
 
+// BulkSource is an optional Source extension for suppliers that can copy a
+// run of uops at once — trace replay cursors and stream readers gather
+// straight out of decoded chunk columns. The engine refills its fetch
+// buffer through it, turning the per-uop interface call into a slice read.
+// A stride of NextBatch calls must yield exactly the stream Next would.
+type BulkSource interface {
+	Source
+	NextBatch(dst []uop.UOp) int
+}
+
+// fetchBufUops sizes the engine's fetch refill buffer: a few rename
+// groups' worth, small enough to stay hot in L1.
+const fetchBufUops = 64
+
 // LoadEvent describes one retired load for statistical consumers.
 type LoadEvent struct {
 	// IP and Addr identify the access.
@@ -235,10 +249,15 @@ func (m *mobState) capacity() int { return len(m.flags) }
 
 // Engine is the out-of-order machine.
 type Engine struct {
-	cfg   Config
-	src   Source
-	hier  *cache.Hierarchy
-	missq *cache.MissQueue
+	cfg Config
+	src Source
+	// bulk is src's BulkSource form (nil when unsupported); fetchBuf with
+	// fetchPos/fetchLen is the refill buffer nextUop drains.
+	bulk               BulkSource
+	fetchBuf           []uop.UOp
+	fetchPos, fetchLen int
+	hier               *cache.Hierarchy
+	missq              *cache.MissQueue
 	// policy is the speculation seam every prediction decision goes
 	// through; oracle caches policy.Oracle().
 	policy SpeculationPolicy
@@ -339,7 +358,7 @@ func NewEngine(cfg Config, src Source) *Engine {
 	}
 	e := &Engine{
 		cfg:            cfg,
-		src:            src,
+		fetchBuf:       make([]uop.UOp, fetchBufUops),
 		hier:           cache.NewHierarchy(cfg.Hier),
 		missq:          cache.NewMissQueue(16),
 		rob:            newROB(cfg.RenamePool),
@@ -350,6 +369,7 @@ func NewEngine(cfg Config, src Source) *Engine {
 		missDetections: make([]int64, 0, 16),
 		naive:          cfg.NaiveSchedule,
 	}
+	e.setSource(src)
 	deps := PolicyDeps{Hier: e.hier, MissQ: e.missq}
 	if cfg.NewPolicy != nil {
 		e.policy = cfg.NewPolicy(deps)
@@ -405,9 +425,35 @@ func (e *Engine) Reset(src Source) bool {
 	rp.Reset()
 	e.hier.Reset()
 	e.missq.Reset()
-	e.src = src
+	e.setSource(src)
 	e.resetState()
 	return true
+}
+
+// setSource wires a (possibly bulk-capable) uop supplier and discards any
+// buffered tail of the previous one.
+func (e *Engine) setSource(src Source) {
+	e.src = src
+	e.bulk, _ = src.(BulkSource)
+	e.fetchPos, e.fetchLen = 0, 0
+}
+
+// nextUop pulls one uop, draining the fetch buffer and refilling it in
+// bulk when the source supports that. Buffering is invisible to the
+// simulation — the engine consumes the identical stream either way.
+func (e *Engine) nextUop() uop.UOp {
+	if e.fetchPos < e.fetchLen {
+		u := e.fetchBuf[e.fetchPos]
+		e.fetchPos++
+		return u
+	}
+	if e.bulk != nil {
+		if n := e.bulk.NextBatch(e.fetchBuf); n > 0 {
+			e.fetchLen, e.fetchPos = n, 1
+			return e.fetchBuf[0]
+		}
+	}
+	return e.src.Next()
 }
 
 // Hierarchy exposes the simulated data hierarchy (read-only use).

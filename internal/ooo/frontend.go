@@ -20,7 +20,7 @@ func (e *Engine) fetchRename() {
 			e.cycleRenameStalled = true
 			return
 		}
-		u := e.src.Next()
+		u := e.nextUop()
 		e.rename(u)
 		if u.Kind == uop.Branch && u.Mispredicted {
 			// Fetch goes down the wrong path; stall until this branch

@@ -23,13 +23,16 @@ var (
 	// each engine carries its own cache model and predictor tables, so a
 	// tight interleave would evict that per-engine state every switch for
 	// no locality gain; the window only needs to cap how much of the
-	// recording is live at once. A unit whose jobs all fit inside one
-	// window skips lockstep entirely and runs sequentially (see stepSlots).
-	batchWindowUops = 65536
+	// recording is live at once. It is a whole number of trace chunks, so a
+	// window spans exactly that many decoded chunk views (an engine's fetch
+	// buffer can hold a few dozen uops past its cursor, which the chunk
+	// granularity dwarfs). A unit whose jobs all fit inside one window
+	// skips lockstep entirely and runs sequentially (see stepSlots).
+	batchWindowUops = 16 * trace.ChunkUops
 	// batchStepStride is the retirement quantum handed to Engine.StepRun
-	// inside a window — coarse for the same reason, while still letting a
-	// finished engine surface between strides.
-	batchStepStride = 4096
+	// inside a window — one trace chunk, coarse for the same reason, while
+	// still letting a finished engine surface between strides.
+	batchStepStride = trace.ChunkUops
 )
 
 // batchSlot is one simulation a unit owes: the job it answers and the

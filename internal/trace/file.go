@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"loadsched/internal/uop"
@@ -12,29 +14,99 @@ import (
 
 // Binary trace-file format, for recording synthetic traces once and
 // replaying them across tools (or importing externally produced uop
-// streams):
+// streams). Both versions share the header:
 //
 //	header:  magic "LSUT" | u16 version | u16 reserved | u64 count
+//
+// Version 1 (legacy, still decodable) is a flat array of fixed-size
+// little-endian records:
+//
 //	record:  u64 seq | u64 ip | u64 addr | u64 storeID
 //	         u8 kind | u8 dst | u8 src1 | u8 src2 | u8 size | u8 flags
 //	flags:   bit0 taken, bit1 mispredicted
 //
-// Records are fixed-size (38 bytes) and little-endian.
+// Version 2 (default) stores the stream as packed chunks (see packed.go) of
+// up to ChunkUops uops, each independently decodable and integrity-checked:
+//
+//	chunk:   u32 n | u32 payloadLen | payload | u32 crc32c(payload)
+//	payload: packedChunk marshal form (columns + varint delta streams)
+//
+// Chunking is what buys bounded-memory replay: StreamReader decodes one
+// chunk at a time through recycled buffers, so replaying a file costs
+// O(ChunkUops) memory regardless of count. The per-chunk CRC-32C
+// (Castagnoli, matching the result store's framing) localizes corruption
+// to the chunk that suffered it.
+//
+// Uop Seq values must be strictly increasing within a file — both readers
+// reject violations, because wrap-around renumbering (and the engine's
+// program order) depend on it.
 
 const (
-	fileMagic   = "LSUT"
-	fileVersion = 1
-	recordSize  = 8*4 + 6
+	fileMagic     = "LSUT"
+	fileVersionV1 = 1
+	fileVersionV2 = 2
+	recordSize    = 8*4 + 6 // v1 record
+	frameSize     = 8       // v2 chunk frame: u32 n | u32 payloadLen
 )
 
-// WriteTrace serializes n uops from src to w.
-func WriteTrace(w io.Writer, src Source, n int) error {
-	bw := bufio.NewWriter(w)
+var fileCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxChunkPayload bounds an n-uop chunk payload: six byte columns plus
+// four delta streams of ≤10-byte varints plus bases and length prefixes.
+func maxChunkPayload(n int) int { return 46*n + 128 }
+
+func writeHeader(w io.Writer, version uint16, count uint64) error {
 	var hdr [16]byte
 	copy(hdr[0:4], fileMagic)
-	binary.LittleEndian.PutUint16(hdr[4:6], fileVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], count)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// WriteTrace serializes n uops from src to w in the current (v2, chunked)
+// format.
+func WriteTrace(w io.Writer, src Source, n int) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, fileVersionV2, uint64(n)); err != nil {
+		return err
+	}
+	var e chunkEncoder
+	var payload []byte
+	var frame [frameSize]byte
+	var crc [4]byte
+	for done := 0; done < n; {
+		m := ChunkUops
+		if n-done < m {
+			m = n - done
+		}
+		e.begin()
+		for i := 0; i < m; i++ {
+			e.add(src.Next())
+		}
+		payload = e.seal().marshal(payload[:0])
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(m))
+		binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, fileCRC))
+		if _, err := bw.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+		if _, err := bw.Write(crc[:]); err != nil {
+			return err
+		}
+		done += m
+	}
+	return bw.Flush()
+}
+
+// WriteTraceV1 serializes n uops from src to w in the legacy flat-record
+// format, for tools that predate v2.
+func WriteTraceV1(w io.Writer, src Source, n int) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, fileVersionV1, uint64(n)); err != nil {
 		return err
 	}
 	var rec [recordSize]byte
@@ -64,28 +136,39 @@ func WriteTrace(w io.Writer, src Source, n int) error {
 	return bw.Flush()
 }
 
-// Source is the uop supplier interface (satisfied by *Generator and
-// *Reader).
+// Source is the uop supplier interface (satisfied by *Generator, *Reader,
+// *StreamReader and *Cursor).
 type Source interface {
 	Next() uop.UOp
 }
 
-// WriteTraceFile records n uops of a profile's trace into path.
+// WriteTraceFile records n uops of a profile's trace into path (v2 format).
 func WriteTraceFile(path string, p Profile, n int) error {
+	return writeTraceFileWith(path, p, n, WriteTrace)
+}
+
+// WriteTraceFileV1 is WriteTraceFile in the legacy v1 format.
+func WriteTraceFileV1(path string, p Profile, n int) error {
+	return writeTraceFileWith(path, p, n, WriteTraceV1)
+}
+
+func writeTraceFileWith(path string, p Profile, n int, write func(io.Writer, Source, int) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := WriteTrace(f, New(p), n); err != nil {
+	if err := write(f, New(p), n); err != nil {
 		return err
 	}
 	return f.Sync()
 }
 
-// Reader replays a recorded trace. Next wraps around at the end (renumbering
-// Seq and StoreID monotonically) so the reader satisfies the engine's
-// unbounded Source contract; Len reports the recorded length.
+// Reader replays a recorded trace fully materialized in memory. Next wraps
+// around at the end (renumbering Seq and StoreID monotonically) so the
+// reader satisfies the engine's unbounded Source contract; Len reports the
+// recorded length. For large files prefer StreamReader, which replays in
+// constant memory.
 type Reader struct {
 	uops []uop.UOp
 	pos  int
@@ -94,55 +177,146 @@ type Reader struct {
 	lastStoreID        int64
 }
 
-// NewReader parses a recorded trace from r.
+func parseHeader(hdr [16]byte) (version uint16, count uint64, err error) {
+	if string(hdr[0:4]) != fileMagic {
+		return 0, 0, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	version = binary.LittleEndian.Uint16(hdr[4:6])
+	if version != fileVersionV1 && version != fileVersionV2 {
+		return 0, 0, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	count = binary.LittleEndian.Uint64(hdr[8:16])
+	const maxCount = 1 << 31
+	if count == 0 || count > maxCount {
+		return 0, 0, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	return version, count, nil
+}
+
+// NewReader parses a recorded trace (either format version) from r.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: short header: %w", err)
 	}
-	if string(hdr[0:4]) != fileMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	version, count, err := parseHeader(hdr)
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	// The header count is still unverified here: preallocating it wholesale
+	// would let a 16-byte file demand gigabytes. Seed a bounded capacity and
+	// let append grow as records actually arrive.
+	pre := count
+	if pre > 1<<16 {
+		pre = 1 << 16
 	}
-	count := binary.LittleEndian.Uint64(hdr[8:16])
-	const maxCount = 1 << 31
-	if count == 0 || count > maxCount {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
-	}
-	rd := &Reader{uops: make([]uop.UOp, 0, count)}
-	var rec [recordSize]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
-		}
-		u := uop.UOp{
-			Seq:     int64(binary.LittleEndian.Uint64(rec[0:8])),
-			IP:      binary.LittleEndian.Uint64(rec[8:16]),
-			Addr:    binary.LittleEndian.Uint64(rec[16:24]),
-			StoreID: int64(binary.LittleEndian.Uint64(rec[24:32])),
-			Kind:    uop.Kind(rec[32]),
-			Dst:     uop.Reg(rec[33]),
-			Src1:    uop.Reg(rec[34]),
-			Src2:    uop.Reg(rec[35]),
-			Size:    rec[36],
-		}
-		u.Taken = rec[37]&1 != 0
-		u.Mispredicted = rec[37]&2 != 0
+	rd := &Reader{uops: make([]uop.UOp, 0, pre)}
+	add := func(u uop.UOp, i uint64) error {
 		if int(u.Kind) >= uop.NumKinds {
-			return nil, fmt.Errorf("trace: record %d has invalid kind %d", i, u.Kind)
+			return fmt.Errorf("trace: record %d has invalid kind %d", i, u.Kind)
+		}
+		if len(rd.uops) > 0 && u.Seq <= rd.uops[len(rd.uops)-1].Seq {
+			return fmt.Errorf("trace: record %d breaks Seq monotonicity (%d after %d)",
+				i, u.Seq, rd.uops[len(rd.uops)-1].Seq)
 		}
 		rd.uops = append(rd.uops, u)
 		if u.StoreID > rd.lastStoreID {
 			rd.lastStoreID = u.StoreID
 		}
+		return nil
+	}
+	if version == fileVersionV1 {
+		var rec [recordSize]byte
+		for i := uint64(0); i < count; i++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+			}
+			if err := add(decodeV1Record(rec), i); err != nil {
+				return nil, err
+			}
+		}
+		return rd, nil
+	}
+	var payload []byte
+	var c packedChunk
+	var v ChunkView
+	for total := uint64(0); total < count; {
+		n, err := readChunkFrame(br, &payload, &c, &v, count-total)
+		if err != nil {
+			return nil, fmt.Errorf("trace: chunk at uop %d: %w", total, err)
+		}
+		for i := 0; i < n; i++ {
+			if err := add(v.UOp(i), total+uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		total += uint64(n)
 	}
 	return rd, nil
 }
 
-// ReadTraceFile parses a recorded trace from path.
+func decodeV1Record(rec [recordSize]byte) uop.UOp {
+	u := uop.UOp{
+		Seq:     int64(binary.LittleEndian.Uint64(rec[0:8])),
+		IP:      binary.LittleEndian.Uint64(rec[8:16]),
+		Addr:    binary.LittleEndian.Uint64(rec[16:24]),
+		StoreID: int64(binary.LittleEndian.Uint64(rec[24:32])),
+		Kind:    uop.Kind(rec[32]),
+		Dst:     uop.Reg(rec[33]),
+		Src1:    uop.Reg(rec[34]),
+		Src2:    uop.Reg(rec[35]),
+		Size:    rec[36],
+	}
+	u.Taken = rec[37]&1 != 0
+	u.Mispredicted = rec[37]&2 != 0
+	return u
+}
+
+// readChunkFrame reads and verifies one v2 chunk (frame, payload, CRC) from
+// r into the caller's recycled payload buffer, then unmarshals and decodes
+// it through c into v. remaining caps the accepted population; the returned
+// n is the chunk's uop count.
+func readChunkFrame(r io.Reader, payload *[]byte, c *packedChunk, v *ChunkView, remaining uint64) (int, error) {
+	var frame [frameSize]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		return 0, fmt.Errorf("truncated frame: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	plen := binary.LittleEndian.Uint32(frame[4:8])
+	if n == 0 || n > ChunkUops {
+		return 0, fmt.Errorf("population %d out of range (1..%d)", n, ChunkUops)
+	}
+	if uint64(n) > remaining {
+		return 0, fmt.Errorf("population %d exceeds the %d uops the header still promises", n, remaining)
+	}
+	if int(plen) > maxChunkPayload(int(n)) {
+		return 0, fmt.Errorf("payload length %d implausible for %d uops", plen, n)
+	}
+	if cap(*payload) < int(plen)+4 {
+		*payload = make([]byte, plen+4)
+	}
+	buf := (*payload)[:plen+4]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, fmt.Errorf("truncated payload: %w", err)
+	}
+	body, sum := buf[:plen], binary.LittleEndian.Uint32(buf[plen:])
+	if got := crc32.Checksum(body, fileCRC); got != sum {
+		return 0, fmt.Errorf("crc mismatch (stored %#x, computed %#x)", sum, got)
+	}
+	if err := unmarshalChunk(body, c, ChunkUops); err != nil {
+		return 0, err
+	}
+	if c.n != int(n) {
+		return 0, fmt.Errorf("frame population %d disagrees with payload population %d", n, c.n)
+	}
+	if err := c.decode(v); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// ReadTraceFile parses a recorded trace from path into memory.
 func ReadTraceFile(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -170,4 +344,267 @@ func (r *Reader) Next() uop.UOp {
 		u.StoreID += r.storeBase
 	}
 	return u
+}
+
+// StreamReader replays a recorded trace in constant memory: one decoded
+// chunk is resident at a time, recycled through a single payload buffer
+// and view, so replaying a billion-uop file costs the same RSS as a
+// thousand-uop one. Construction validates the whole file — structure,
+// CRCs, kinds, Seq monotonicity — in one bounded-memory pass, so Next
+// (which has no error to return under the Source contract) can only fail
+// on an I/O fault, which panics. Like Reader, Next wraps around at the end
+// with renumbered Seq/StoreID. Not safe for concurrent use.
+type StreamReader struct {
+	rs        io.ReadSeeker
+	br        *bufio.Reader // over rs; reset by rewind
+	closer    io.Closer
+	version   uint16
+	count     int64
+	dataStart int64
+
+	// Recycled chunk ring: payload and pc back the current decoded view for
+	// v2; v1 records are read straight into view's owned columns.
+	payload []byte
+	pc      packedChunk
+	view    ChunkView
+	viewPos int
+
+	passUops           int64 // uops consumed from the file this pass
+	seqBase, storeBase int64
+	wrapSeq, wrapStore int64 // per-pass offsets, fixed by the open-time scan
+
+	// Metadata collected by the open-time scan (for trace info).
+	chunks       int64
+	payloadBytes int64
+}
+
+// NewStreamReader opens a streaming replay over rs (either format
+// version). rs must remain valid for the reader's lifetime.
+func NewStreamReader(rs io.ReadSeeker) (*StreamReader, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(rs, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	version, count, err := parseHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	r := &StreamReader{rs: rs, br: bufio.NewReader(rs), version: version, count: int64(count), dataStart: 16}
+	if err := r.scan(); err != nil {
+		return nil, err
+	}
+	if err := r.rewind(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// StreamTraceFile opens path for constant-memory replay. Close releases
+// the file handle.
+func StreamTraceFile(path string) (*StreamReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewStreamReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// scan is the open-time validation pass: it streams every chunk through
+// the recycled buffers exactly as replay will, verifying structure, CRCs,
+// kinds and Seq monotonicity, and collects the wrap offsets (last Seq,
+// max StoreID) and the metadata trace info reports.
+func (r *StreamReader) scan() error {
+	prevSeq := int64(math.MinInt64)
+	var maxStore int64
+	for total := int64(0); total < r.count; {
+		n, err := r.readChunk(total)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			u := r.view.UOp(i)
+			if int(u.Kind) >= uop.NumKinds {
+				return fmt.Errorf("trace: record %d has invalid kind %d", total+int64(i), u.Kind)
+			}
+			if u.Seq <= prevSeq {
+				return fmt.Errorf("trace: record %d breaks Seq monotonicity (%d after %d)",
+					total+int64(i), u.Seq, prevSeq)
+			}
+			prevSeq = u.Seq
+			if u.StoreID > maxStore {
+				maxStore = u.StoreID
+			}
+		}
+		total += int64(n)
+		r.chunks++
+	}
+	r.wrapSeq, r.wrapStore = prevSeq+1, maxStore
+	return nil
+}
+
+// readChunk loads the next chunk of the file into the recycled view. For
+// v1 that is up to ChunkUops flat records; for v2 one framed chunk.
+func (r *StreamReader) readChunk(consumed int64) (int, error) {
+	if r.version == fileVersionV1 {
+		n := r.count - consumed
+		if n > ChunkUops {
+			n = ChunkUops
+		}
+		us := r.view.grow(int(n))
+		var rec [recordSize]byte
+		for i := range us {
+			if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+				return 0, fmt.Errorf("trace: truncated at record %d: %w", consumed+int64(i), err)
+			}
+			us[i] = decodeV1Record(rec)
+		}
+		r.payloadBytes += n * recordSize
+		return int(n), nil
+	}
+	n, err := readChunkFrame(r.br, &r.payload, &r.pc, &r.view, uint64(r.count-consumed))
+	if err != nil {
+		return 0, fmt.Errorf("trace: chunk at uop %d: %w", consumed, err)
+	}
+	r.payloadBytes += int64(r.pc.packedBytes())
+	return n, nil
+}
+
+// rewind seeks back to the first chunk and resets the pass state.
+func (r *StreamReader) rewind() error {
+	if _, err := r.rs.Seek(r.dataStart, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: rewind: %w", err)
+	}
+	r.br.Reset(r.rs)
+	r.passUops, r.viewPos = 0, 0
+	r.view.us = nil
+	return nil
+}
+
+// Uops reports the recorded length.
+func (r *StreamReader) Uops() int64 { return r.count }
+
+// Version reports the file's format version.
+func (r *StreamReader) Version() int { return int(r.version) }
+
+// Chunks reports how many v2 chunks the file holds (0 for v1).
+func (r *StreamReader) Chunks() int64 {
+	if r.version == fileVersionV1 {
+		return 0
+	}
+	return r.chunks
+}
+
+// PayloadBytes reports the file's record payload size: v2 chunk payloads
+// excluding framing, or v1 record bytes.
+func (r *StreamReader) PayloadBytes() int64 { return r.payloadBytes }
+
+// Close releases the underlying file when the reader owns one.
+func (r *StreamReader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Next implements Source, wrapping around with renumbered Seq/StoreID. The
+// file was fully validated at open; an I/O fault mid-replay panics.
+func (r *StreamReader) Next() uop.UOp {
+	if r.viewPos == len(r.view.us) {
+		r.nextChunk()
+	}
+	u := r.view.us[r.viewPos]
+	r.viewPos++
+	u.Seq += r.seqBase
+	if u.StoreID != 0 {
+		u.StoreID += r.storeBase
+	}
+	return u
+}
+
+// NextBatch fills dst from the current decoded chunk (never crossing a
+// chunk boundary) and reports how many uops it wrote.
+func (r *StreamReader) NextBatch(dst []uop.UOp) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if r.viewPos == len(r.view.us) {
+		r.nextChunk()
+	}
+	n := copy(dst, r.view.us[r.viewPos:])
+	for j := 0; j < n; j++ {
+		dst[j].Seq += r.seqBase
+		if dst[j].StoreID != 0 {
+			dst[j].StoreID += r.storeBase
+		}
+	}
+	r.viewPos += n
+	return n
+}
+
+func (r *StreamReader) nextChunk() {
+	if r.passUops == r.count {
+		if err := r.rewind(); err != nil {
+			panic(err.Error())
+		}
+		r.seqBase += r.wrapSeq
+		r.storeBase += r.wrapStore
+	}
+	n, err := r.readChunk(r.passUops)
+	if err != nil {
+		// The open-time scan proved the file well-formed; only an
+		// environmental I/O failure lands here.
+		panic(err.Error())
+	}
+	r.passUops += int64(n)
+	r.viewPos = 0
+}
+
+// FileInfo summarizes a trace file for `loadsched trace info`.
+type FileInfo struct {
+	Version      int
+	Uops         int64
+	Chunks       int64 // v2 only; 0 for v1
+	PayloadBytes int64 // v2 chunk payloads / v1 record bytes, sans framing
+	FileBytes    int64
+	KindCounts   [uop.NumKinds]int64
+}
+
+// BytesPerUop is the payload density — the headline the packed format is
+// judged on.
+func (fi *FileInfo) BytesPerUop() float64 {
+	if fi.Uops == 0 {
+		return 0
+	}
+	return float64(fi.PayloadBytes) / float64(fi.Uops)
+}
+
+// InspectTraceFile validates path and reports its shape without ever
+// materializing the trace (constant memory, like StreamReader).
+func InspectTraceFile(path string) (*FileInfo, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := StreamTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	fi := &FileInfo{
+		Version:      r.Version(),
+		Uops:         r.Uops(),
+		Chunks:       r.Chunks(),
+		PayloadBytes: r.PayloadBytes(),
+		FileBytes:    st.Size(),
+	}
+	for i := int64(0); i < fi.Uops; i++ {
+		fi.KindCounts[r.Next().Kind]++
+	}
+	return fi, nil
 }

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"loadsched/internal/uop"
+)
+
+// TestV1V2CrossDecode pins cross-version equivalence: the same stream
+// written in both formats must replay identically through both readers,
+// across wrap-around renumbering too.
+func TestV1V2CrossDecode(t *testing.T) {
+	p := Profile{Name: "xdec", Seed: 17}
+	const n = ChunkUops + 700 // full chunk + short tail chunk
+	var v1, v2 bytes.Buffer
+	if err := WriteTraceV1(&v1, New(p), n); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&v2, New(p), n); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 reader: %v", err)
+	}
+	r2, err := NewReader(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatalf("v2 reader: %v", err)
+	}
+	if r1.Len() != n || r2.Len() != n {
+		t.Fatalf("lengths %d/%d, want %d", r1.Len(), r2.Len(), n)
+	}
+	for i := 0; i < 5*n/2; i++ { // crosses two wraps
+		a, b := r1.Next(), r2.Next()
+		if a != b {
+			t.Fatalf("uop %d: v1 %+v, v2 %+v", i, a, b)
+		}
+	}
+}
+
+// TestStreamReaderMatchesReader pins the constant-memory path to the
+// in-RAM one for both format versions, including wrap renumbering.
+func TestStreamReaderMatchesReader(t *testing.T) {
+	p := Profile{Name: "stream-eq", Seed: 23}
+	const n = 2*ChunkUops + 123
+	for _, tc := range []struct {
+		name  string
+		write func(path string) error
+	}{
+		{"v2", func(path string) error { return WriteTraceFile(path, p, n) }},
+		{"v1", func(path string) error { return WriteTraceFileV1(path, p, n) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "t.lsut")
+			if err := tc.write(path); err != nil {
+				t.Fatal(err)
+			}
+			rd, err := ReadTraceFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, err := StreamTraceFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sr.Close()
+			if sr.Uops() != n {
+				t.Fatalf("stream length %d, want %d", sr.Uops(), n)
+			}
+			for i := 0; i < 5*n/2; i++ {
+				want, got := rd.Next(), sr.Next()
+				if got != want {
+					t.Fatalf("uop %d: stream %+v, reader %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamReaderNextBatch pins the stream reader's bulk path to its
+// scalar path across chunk boundaries and a wrap.
+func TestStreamReaderNextBatch(t *testing.T) {
+	p := Profile{Name: "stream-batch", Seed: 29}
+	const n = ChunkUops + 50
+	path := filepath.Join(t.TempDir(), "t.lsut")
+	if err := WriteTraceFile(path, p, n); err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := StreamTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalar.Close()
+	bulk, err := StreamTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+	total := 2*n + 7
+	batch := make([]uop.UOp, 100)
+	for consumed := 0; consumed < total; {
+		m := bulk.NextBatch(batch)
+		if m <= 0 {
+			t.Fatalf("NextBatch returned %d", m)
+		}
+		for i := 0; i < m; i++ {
+			want := scalar.Next()
+			if batch[i] != want {
+				t.Fatalf("uop %d: bulk %+v, scalar %+v", consumed+i, batch[i], want)
+			}
+		}
+		consumed += m
+	}
+}
+
+// TestV2RejectsCorruptCRC flips one payload byte of a valid v2 file; both
+// readers must refuse the file and name the CRC.
+func TestV2RejectsCorruptCRC(t *testing.T) {
+	p := Profile{Name: "crc", Seed: 31}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, New(p), 600); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header is 16 bytes, frame 8; corrupt a byte well inside the first
+	// chunk's payload.
+	data[16+8+40] ^= 0x01
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("NewReader accepted a corrupt-CRC file")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(data)); err == nil {
+		t.Error("NewStreamReader accepted a corrupt-CRC file")
+	}
+}
+
+// TestV2RejectsTruncation cuts a valid v2 file at every structural
+// boundary class; both readers must error, never hang or panic.
+func TestV2RejectsTruncation(t *testing.T) {
+	p := Profile{Name: "trunc2", Seed: 37}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, New(p), ChunkUops+100); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cuts := []int{15, 16, 20, 23, 100, len(data) / 2, len(data) - 5, len(data) - 1}
+	for _, cut := range cuts {
+		short := data[:cut]
+		if _, err := NewReader(bytes.NewReader(short)); err == nil {
+			t.Errorf("NewReader accepted file truncated at %d", cut)
+		}
+		if _, err := NewStreamReader(bytes.NewReader(short)); err == nil {
+			t.Errorf("NewStreamReader accepted file truncated at %d", cut)
+		}
+	}
+}
+
+// TestV2RejectsNonMonotonicSeq: both readers depend on strictly increasing
+// Seq for wrap renumbering and reject files that violate it.
+func TestV2RejectsNonMonotonicSeq(t *testing.T) {
+	us := Collect(Profile{Name: "mono", Seed: 41}, 100)
+	us[40].Seq = us[39].Seq // duplicate
+	src := &sliceSource{us: us}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, src, len(us)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("NewReader accepted non-monotonic Seq")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("NewStreamReader accepted non-monotonic Seq")
+	}
+}
+
+type sliceSource struct {
+	us  []uop.UOp
+	pos int
+}
+
+func (s *sliceSource) Next() uop.UOp {
+	u := s.us[s.pos%len(s.us)]
+	s.pos++
+	return u
+}
+
+// TestInspectTraceFile pins the trace-info metadata: counts, chunking,
+// and the packed density the format is judged on.
+func TestInspectTraceFile(t *testing.T) {
+	p := Profile{Name: "inspect", Seed: 43}
+	const n = 2*ChunkUops + 10
+	path := filepath.Join(t.TempDir(), "t.lsut")
+	if err := WriteTraceFile(path, p, n); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := InspectTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Version != 2 || fi.Uops != n || fi.Chunks != 3 {
+		t.Fatalf("version/uops/chunks = %d/%d/%d, want 2/%d/3", fi.Version, fi.Uops, fi.Chunks, n)
+	}
+	if bpu := fi.BytesPerUop(); bpu <= 0 || bpu > 16 {
+		t.Fatalf("bytes/uop = %.2f, want (0, 16]", bpu)
+	}
+	var kinds int64
+	for _, k := range fi.KindCounts {
+		kinds += k
+	}
+	if kinds != n {
+		t.Fatalf("kind counts sum to %d, want %d", kinds, n)
+	}
+	st, _ := os.Stat(path)
+	if fi.FileBytes != st.Size() {
+		t.Fatalf("FileBytes %d, stat %d", fi.FileBytes, st.Size())
+	}
+}
+
+// TestStreamReplayConstantRSS is the bounded-memory regression test: a
+// file-backed trace larger than the in-process sharing cap must replay
+// through the stream reader with heap growth bounded by the chunk ring,
+// not the trace length (2.4M uops ≈ 150 MB decoded would fail loudly).
+func TestStreamReplayConstantRSS(t *testing.T) {
+	p := Profile{Name: "rss", Seed: 47}
+	total := 2*maxSharedUops + 5*ChunkUops/2 // > the shared cap, ragged tail
+	path := filepath.Join(t.TempDir(), "big.lsut")
+	if err := WriteTraceFile(path, p, total); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := StreamTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Uops() != int64(total) {
+		t.Fatalf("stream length %d, want %d", sr.Uops(), total)
+	}
+
+	// Warm one chunk so lazily allocated ring buffers exist, then measure.
+	for i := 0; i < ChunkUops; i++ {
+		sr.Next()
+	}
+	heap := func() uint64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	before := heap()
+	for i := ChunkUops; i < total+ChunkUops; i++ { // full pass + wrap
+		sr.Next()
+	}
+	after := heap()
+	grew := int64(after) - int64(before)
+	// The live set is one payload buffer + one decoded view (~200 KiB);
+	// allow generous slack for runtime noise, but an O(trace) replay
+	// (tens of MB) must fail.
+	const bound = 4 << 20
+	if grew > bound {
+		t.Fatalf("heap grew %d bytes replaying %d uops, want <= %d (O(chunk ring))", grew, total, bound)
+	}
+	t.Logf("heap growth over %d uops: %d bytes", total, grew)
+}

@@ -3,26 +3,59 @@ package trace
 import (
 	"bytes"
 	"testing"
+
+	"loadsched/internal/uop"
 )
 
-// FuzzReader hardens the trace-file parser against corrupt input: it must
-// either return an error or produce a reader whose records all have valid
-// kinds — never panic or hang.
-func FuzzReader(f *testing.F) {
-	// Seed with a real trace and a few mutations.
-	var buf bytes.Buffer
-	if err := WriteTrace(&buf, New(Profile{Name: "seed", Seed: 1}), 64); err != nil {
+// fuzzTraceSeeds builds the shared corpus: well-formed traces in both file
+// versions plus structural mutations (truncation, version relabeling, CRC
+// damage) that exercise every rejection path.
+func fuzzTraceSeeds(f *testing.F) {
+	f.Helper()
+	var v2, v1 bytes.Buffer
+	if err := WriteTrace(&v2, New(Profile{Name: "seed", Seed: 1}), 64); err != nil {
 		f.Fatal(err)
 	}
-	good := buf.Bytes()
-	f.Add(good)
-	f.Add(good[:20])
+	if err := WriteTraceV1(&v1, New(Profile{Name: "seed", Seed: 1}), 64); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes()[:20])
+	f.Add(v2.Bytes()[:len(v2.Bytes())-3]) // truncated mid-CRC
 	f.Add([]byte("LSUT"))
 	f.Add([]byte{})
-	trunc := append([]byte{}, good...)
-	trunc[4] = 2
-	f.Add(trunc)
+	relabel := append([]byte{}, v1.Bytes()...)
+	relabel[4] = 2 // v1 body labeled v2: chunk framing garbage
+	f.Add(relabel)
+	crc := append([]byte{}, v2.Bytes()...)
+	crc[len(crc)-10] ^= 0x40 // damage inside the last chunk's payload/CRC
+	f.Add(crc)
+}
 
+// fuzzCheckUops drains a bounded number of uops from any source, asserting
+// the invariant both readers promise on accepted files: strictly increasing
+// Seq, across at least one wrap.
+func fuzzCheckUops(t *testing.T, length int, next func() uop.UOp) {
+	n := length*2 + 4
+	if n > 4096 {
+		n = 4096
+	}
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		u := next()
+		if u.Seq <= prev {
+			t.Fatalf("Seq regressed: %d after %d", u.Seq, prev)
+		}
+		prev = u.Seq
+	}
+}
+
+// FuzzReader hardens the in-RAM trace-file parser against corrupt input: it
+// must either return an error or produce a reader whose records all have
+// valid kinds and monotonic Seq — never panic or hang.
+func FuzzReader(f *testing.F) {
+	fuzzTraceSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rd, err := NewReader(bytes.NewReader(data))
 		if err != nil {
@@ -31,19 +64,35 @@ func FuzzReader(f *testing.F) {
 		if rd.Len() <= 0 {
 			t.Fatal("reader with no records must be an error")
 		}
-		// Drain a bounded number of uops, covering at least one wrap.
-		n := rd.Len()*2 + 4
-		if n > 4096 {
-			n = 4096
+		fuzzCheckUops(t, rd.Len(), rd.Next)
+	})
+}
+
+// FuzzStreamReader holds the constant-memory reader to the same contract as
+// the in-RAM one, and additionally requires the two to agree on whether an
+// input is acceptable at all.
+func FuzzStreamReader(f *testing.F) {
+	fuzzTraceSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, serr := NewStreamReader(bytes.NewReader(data))
+		rd, rerr := NewReader(bytes.NewReader(data))
+		if (serr == nil) != (rerr == nil) {
+			t.Fatalf("readers disagree: stream err %v, in-RAM err %v", serr, rerr)
 		}
-		prev := int64(-1)
-		for i := 0; i < n; i++ {
-			u := rd.Next()
-			if u.Seq <= prev {
-				t.Fatalf("Seq regressed: %d after %d", u.Seq, prev)
+		if serr != nil {
+			return
+		}
+		defer sr.Close()
+		if sr.Uops() != int64(rd.Len()) {
+			t.Fatalf("stream sees %d uops, in-RAM %d", sr.Uops(), rd.Len())
+		}
+		fuzzCheckUops(t, rd.Len(), func() uop.UOp {
+			want, got := rd.Next(), sr.Next()
+			if got != want {
+				t.Fatalf("streams diverge: %+v vs %+v", got, want)
 			}
-			prev = u.Seq
-		}
+			return got
+		})
 	})
 }
 

@@ -11,27 +11,33 @@ import (
 // deterministic uop stream through many machine configurations, and the
 // naive approach pays one full generator run (program build, RNG walk,
 // branch-predictor model) per configuration. Materialize records each
-// profile's stream once per process into an append-only buffer; Replay
-// hands out lightweight cursors over it, so N configs per figure pay one
-// generation instead of N.
+// profile's stream once per process; Replay hands out lightweight cursors
+// over it, so N configs per figure pay one generation instead of N.
 //
-// Concurrency model: the buffer only ever grows, and grown prefixes are
-// immutable. Writers extend it under Recording.mu and publish the new
-// length through an atomic snapshot; readers iterate their own snapshot
-// lock-free and refresh it (or trigger growth) only when they run off the
-// end. Appending in place beyond a published snapshot's length is safe
-// because no reader indexes past its snapshot.
+// The recording is stored as sealed packed chunks (see packed.go), about
+// 9 bytes/uop instead of the 40 bytes/uop a []uop.UOp costs. Cursors never
+// read the packed form directly: each chunk is decoded once, on first
+// demand, into an immutable ChunkView — a flat uop slice — that every
+// cursor replays by plain indexing. The decoded views are a cache bounded
+// by the same cap as the packed chunks, so steady-state replay touches no
+// allocator at all.
+//
+// Concurrency model, per-chunk: the chunk list only ever grows, and sealed
+// chunks are immutable. The generator appends whole chunks under
+// Recording.mu and publishes the extended list through an atomic snapshot;
+// readers walk their own snapshot lock-free and take the lock only to
+// generate a chunk that does not exist yet. Decoded views publish by
+// compare-and-swap into a fixed slot array — racing decoders do redundant
+// work, but exactly one view wins and the losers adopt it, so a view, once
+// observed, is permanent and immutable.
 
 // maxSharedUops bounds the per-profile recording (a variable so tests can
-// shrink it). At the default 1<<20 a recording tops out around 60 MB; a
-// cursor that runs past the cap falls back to a private generator — paying
-// one status-quo generation for that outlier run instead of growing the
-// shared buffer without bound.
+// shrink it). At the default 1<<20 the packed chunks top out around 9 MB
+// and the decoded views around 40 MB; a cursor that runs past the cap
+// falls back to a private generator feeding a recycled private chunk view
+// — paying one status-quo generation for that outlier run instead of
+// growing the shared buffers without bound.
 var maxSharedUops = 1 << 20
-
-// minRecordingChunk is the smallest growth step, so cursors racing up a
-// cold buffer don't take the lock per uop.
-const minRecordingChunk = 1 << 12
 
 var (
 	recordingsMu sync.Mutex
@@ -41,11 +47,18 @@ var (
 // Recording is one profile's process-wide recorded uop stream.
 type Recording struct {
 	prof Profile
+	// maxChunks is the recording's chunk cap, frozen at Materialize time
+	// (so tests that shrink maxSharedUops only affect recordings they
+	// create): floor(maxSharedUops/ChunkUops), at least 1.
+	maxChunks int
 
-	mu   sync.Mutex
-	gen  *Generator
-	full []uop.UOp    // generated so far; guarded by mu
-	buf  atomic.Value // []uop.UOp: immutable published prefix of full
+	mu     sync.Mutex
+	gen    *Generator
+	sealed []*packedChunk // generated so far; guarded by mu
+
+	chunks atomic.Value                // []*packedChunk: published prefix of sealed
+	views  []atomic.Pointer[ChunkView] // decoded-chunk cache, one slot per chunk
+	packed atomic.Int64                // total payload bytes across sealed chunks
 }
 
 // Materialize returns the process-wide recording for p, creating it (empty)
@@ -58,105 +71,168 @@ func Materialize(p Profile) *Recording {
 	if r, ok := recordings[p]; ok {
 		return r
 	}
-	r := &Recording{prof: p, gen: New(p)}
-	r.buf.Store([]uop.UOp(nil))
+	mc := maxSharedUops / ChunkUops
+	if mc < 1 {
+		mc = 1
+	}
+	r := &Recording{prof: p, maxChunks: mc, gen: New(p)}
+	r.chunks.Store([]*packedChunk(nil))
+	r.views = make([]atomic.Pointer[ChunkView], mc)
 	recordings[p] = r
 	return r
 }
 
-// atLeast grows the recording to at least n uops (n <= maxSharedUops) and
-// returns the current buffer.
-func (r *Recording) atLeast(n int) []uop.UOp {
-	if buf := r.buf.Load().([]uop.UOp); len(buf) >= n {
-		return buf
+// chunk returns sealed chunk ci (ci < maxChunks), generating up to it if
+// needed. One lock round generates a whole chunk, so racing cursors on a
+// cold recording amortize the lock over ChunkUops uops.
+func (r *Recording) chunk(ci int) *packedChunk {
+	if cs := r.chunks.Load().([]*packedChunk); ci < len(cs) {
+		return cs[ci]
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cur := r.full
-	if len(cur) < n {
-		// Grow in doubling chunks so the lock and the atomic publish are
-		// amortized over many uops.
-		target := n
-		if t := 2 * len(cur); t > target {
-			target = t
+	cs := r.sealed
+	for len(cs) <= ci {
+		var e chunkEncoder
+		e.begin()
+		for i := 0; i < ChunkUops; i++ {
+			e.add(r.gen.Next())
 		}
-		if target < minRecordingChunk {
-			target = minRecordingChunk
-		}
-		if target > maxSharedUops {
-			target = maxSharedUops
-		}
-		if target < n {
-			target = n
-		}
-		for len(cur) < target {
-			cur = append(cur, r.gen.Next())
-		}
-		r.full = cur
-		r.buf.Store(cur[:len(cur):len(cur)])
+		c := e.seal()
+		r.packed.Add(int64(c.packedBytes()))
+		cs = append(cs, c)
 	}
-	return r.full
+	r.sealed = cs
+	r.chunks.Store(cs[:len(cs):len(cs)])
+	return cs[ci]
 }
 
-// Len reports how many uops have been recorded so far.
-func (r *Recording) Len() int { return len(r.buf.Load().([]uop.UOp)) }
+// view returns the decoded form of chunk ci, decoding and publishing it on
+// first demand. Published views are immutable and live for the process —
+// the cache is bounded by maxChunks, and permanence is what keeps the
+// replay hot path allocation-free.
+func (r *Recording) view(ci int) *ChunkView {
+	if v := r.views[ci].Load(); v != nil {
+		return v
+	}
+	v, err := r.chunk(ci).decodeChunk()
+	if err != nil {
+		// Sealed chunks came out of our own encoder; a decode failure is a
+		// codec bug, not an input condition.
+		panic("trace: recorded chunk failed to decode: " + err.Error())
+	}
+	if r.views[ci].CompareAndSwap(nil, v) {
+		return v
+	}
+	return r.views[ci].Load()
+}
+
+// Len reports how many uops have been recorded so far. Shared chunks are
+// always full, so the length is a whole number of chunks.
+func (r *Recording) Len() int {
+	return len(r.chunks.Load().([]*packedChunk)) * ChunkUops
+}
+
+// PackedBytes reports the recording's payload footprint in bytes — the
+// packed columns and delta streams, excluding the decoded-view cache.
+func (r *Recording) PackedBytes() int64 { return r.packed.Load() }
 
 // Cursor replays a recording from the start. It implements the engine's
-// Source. Cursors are cheap (no generation state) and independent; they are
-// not safe for concurrent use by multiple goroutines, but any number of
+// Source (and its bulk extension, NextBatch). Cursors are cheap — one
+// small allocation, no generation state — and independent; a cursor is not
+// safe for concurrent use by multiple goroutines, but any number of
 // cursors may run concurrently over one recording.
 type Cursor struct {
 	rec *Recording
-	buf []uop.UOp
-	pos int
-	// tail streams the portion beyond maxSharedUops from a private
-	// generator (nil until the cap is crossed); tailN counts the uops it
-	// has emitted, so Pos keeps reporting total consumption.
-	tail  *Generator
-	tailN int
+	// us is the current decoded chunk's uop slice, held directly (not via
+	// the view) so Next is an index, an increment and one length check —
+	// nil before the first advance, which a fresh cursor trips exactly like
+	// a chunk boundary.
+	us   []uop.UOp
+	base int // stream position of us[0]
+	i    int // next index within us
+	// tail streams the portion beyond the sharing cap from a private
+	// generator through priv, a recycled single-owner chunk view; both are
+	// nil until the cap is crossed.
+	tail *Generator
+	priv *ChunkView
 }
 
 // Replay returns a cursor over p's shared recording.
 func Replay(p Profile) *Cursor {
-	r := Materialize(p)
-	return &Cursor{rec: r, buf: r.buf.Load().([]uop.UOp)}
+	return &Cursor{rec: Materialize(p)}
 }
 
 // Next emits the next uop of the recorded stream; like Generator.Next it
 // never ends.
 func (c *Cursor) Next() uop.UOp {
-	if c.pos < len(c.buf) {
-		u := c.buf[c.pos]
-		c.pos++
-		return u
+	if c.i == len(c.us) {
+		c.advance()
 	}
-	return c.nextSlow()
+	u := c.us[c.i]
+	c.i++
+	return u
+}
+
+// NextBatch fills dst from the current decoded chunk and reports how many
+// uops it wrote (at least 1 for a nonempty dst). It never crosses a chunk
+// boundary in one call, so the copy is a straight memmove.
+func (c *Cursor) NextBatch(dst []uop.UOp) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if c.i == len(c.us) {
+		c.advance()
+	}
+	n := copy(dst, c.us[c.i:])
+	c.i += n
+	return n
 }
 
 // Pos reports how many uops the cursor has consumed so far. Batch drivers
 // (runner.RunBatch) use it to keep a group of engines inside one shared
 // window of the recording.
-func (c *Cursor) Pos() int { return c.pos + c.tailN }
+func (c *Cursor) Pos() int { return c.base + c.i }
 
-func (c *Cursor) nextSlow() uop.UOp {
-	if c.tail != nil {
-		c.tailN++
-		return c.tail.Next()
+// advance moves the cursor onto the decoded view holding position Pos().
+// Views are whole chunks, so Pos() is chunk-aligned here.
+func (c *Cursor) advance() {
+	pos := c.base + c.i
+	c.base, c.i = pos, 0
+	if ci := pos >> chunkShift; ci < c.rec.maxChunks {
+		c.us = c.rec.view(ci).us
+		return
 	}
-	if c.pos >= maxSharedUops {
-		// Past the sharing cap: regenerate privately and skip the shared
-		// prefix. Costs one generator run — exactly the pre-sharing status
-		// quo — and only for runs long enough to blow the cap.
-		g := New(c.rec.prof)
-		for i := 0; i < c.pos; i++ {
-			g.Next()
+	c.advanceTail()
+}
+
+// advanceTail serves positions past the sharing cap: regenerate privately,
+// skip the shared prefix — one status-quo generation, only for runs long
+// enough to blow the cap — and refill a single recycled private view chunk
+// by chunk, so the overflow costs O(ChunkUops) memory however far it runs.
+func (c *Cursor) advanceTail() {
+	if c.tail == nil {
+		c.tail = New(c.rec.prof)
+		for i := 0; i < c.base; i++ {
+			c.tail.Next()
 		}
-		c.tail = g
-		c.tailN++
-		return g.Next()
+		c.priv = newOwnedView()
 	}
-	c.buf = c.rec.atLeast(c.pos + 1)
-	u := c.buf[c.pos]
-	c.pos++
-	return u
+	fillView(c.priv, c.tail)
+	c.us = c.priv.us
+}
+
+// newOwnedView allocates a private view with chunk-sized backing storage.
+func newOwnedView() *ChunkView {
+	v := &ChunkView{}
+	v.grow(ChunkUops)
+	return v
+}
+
+// fillView refills an owned view with the generator's next ChunkUops uops.
+func fillView(v *ChunkView, g *Generator) {
+	us := v.grow(ChunkUops)
+	for i := range us {
+		us[i] = g.Next()
+	}
 }

@@ -75,7 +75,9 @@ const NoReg Reg = 0
 const MaxArchRegs = 64
 
 // UOp is one dynamic micro-operation in a trace. Fields that do not apply to
-// a kind are zero (e.g. Addr for IntALU).
+// a kind are zero (e.g. Addr for IntALU). The wide fields lead and the byte
+// fields trail so the struct packs to 40 bytes — uops are copied on every
+// fetch, trace replay and recording step, so the layout is hot.
 type UOp struct {
 	// Seq is the dynamic sequence number, dense from 0 within a trace.
 	Seq int64
@@ -83,19 +85,19 @@ type UOp struct {
 	// predictors in the paper index on the load's IP, so recurrence of IPs
 	// is what makes prediction possible.
 	IP uint64
+	// Addr is the effective memory address for Load and STA uops.
+	Addr uint64
+	// StoreID links the STA and STD halves of one store. Zero for non-store
+	// uops; IDs are dense from 1 within a trace.
+	StoreID int64
 	// Kind is the execution class.
 	Kind Kind
 	// Dst is the destination register (NoReg if none).
 	Dst Reg
 	// Src1 and Src2 are source registers (NoReg if unused).
 	Src1, Src2 Reg
-	// Addr is the effective memory address for Load and STA uops.
-	Addr uint64
 	// Size is the access size in bytes for memory uops (default 4 or 8).
 	Size uint8
-	// StoreID links the STA and STD halves of one store. Zero for non-store
-	// uops; IDs are dense from 1 within a trace.
-	StoreID int64
 	// Taken is the resolved direction for Branch uops.
 	Taken bool
 	// Mispredicted marks branches the front-end predictor got wrong; the
