@@ -71,6 +71,8 @@ func runTraceInfo(args []string) {
 	}
 	fmt.Printf("payload:     %d bytes (%.2f bytes/uop)\n", fi.PayloadBytes, fi.BytesPerUop())
 	fmt.Printf("file size:   %d bytes\n", fi.FileBytes)
+	fmt.Printf("side-car:    %d bytes (%.2f bytes/uop), built in %.2f ms\n",
+		fi.SidecarBytes, fi.SidecarBytesPerUop(), float64(fi.SidecarBuildNanos)/1e6)
 	fmt.Printf("kinds:")
 	for k, n := range fi.KindCounts {
 		if n == 0 {

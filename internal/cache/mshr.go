@@ -11,6 +11,11 @@ type MissQueue struct {
 	entries map[uint64]int64
 	// order is the FIFO of line addresses for capacity eviction.
 	order []uint64
+	// minReady is a lower bound on the earliest completion among entries
+	// (stale-low is fine; it only costs one redundant walk). Advance is
+	// called once per load execution and the queue is usually either empty
+	// or all in-flight, so the bound turns the common call into a compare.
+	minReady int64
 
 	// serviced is a ring of recently completed fills.
 	serviced    []servicedLine
@@ -58,6 +63,9 @@ func (q *MissQueue) RecordMiss(addr uint64, readyAt int64) {
 		q.retire(oldest, q.entries[oldest])
 		delete(q.entries, oldest)
 	}
+	if len(q.order) == 0 || readyAt < q.minReady {
+		q.minReady = readyAt
+	}
 	q.entries[line] = readyAt
 	q.order = append(q.order, line)
 }
@@ -70,7 +78,12 @@ func (q *MissQueue) retire(line uint64, readyAt int64) {
 // Advance retires all fills that completed at or before now into the
 // serviced ring. Call once per prediction with the current cycle.
 func (q *MissQueue) Advance(now int64) {
+	if len(q.order) == 0 || now < q.minReady {
+		return // nothing in flight can have completed yet
+	}
 	kept := q.order[:0]
+	const maxInt64 = 1<<63 - 1
+	min := int64(maxInt64)
 	for _, line := range q.order {
 		ready := q.entries[line]
 		if ready <= now {
@@ -78,20 +91,30 @@ func (q *MissQueue) Advance(now int64) {
 			delete(q.entries, line)
 			continue
 		}
+		if ready < min {
+			min = ready
+		}
 		kept = append(kept, line)
 	}
 	q.order = kept
+	q.minReady = min
 }
 
 // Outstanding reports whether addr's line has a fill in flight at cycle now:
 // a load to it will dynamically miss.
 func (q *MissQueue) Outstanding(addr uint64, now int64) bool {
+	if len(q.order) == 0 {
+		return false
+	}
 	ready, ok := q.entries[lineAddr(addr)]
 	return ok && ready > now
 }
 
 // ReadyAt returns the completion cycle of addr's in-flight fill, if any.
 func (q *MissQueue) ReadyAt(addr uint64) (int64, bool) {
+	if len(q.order) == 0 {
+		return 0, false
+	}
 	ready, ok := q.entries[lineAddr(addr)]
 	return ready, ok
 }

@@ -19,6 +19,7 @@ import (
 	"loadsched/internal/ooo"
 	"loadsched/internal/runner"
 	"loadsched/internal/trace"
+	"loadsched/internal/uop"
 )
 
 // NoWarmup is the sentinel for an explicitly zero warmup region. A Warmup
@@ -120,4 +121,20 @@ func baseConfig(s memdep.Scheme) ooo.Config {
 		cfg.CHT = memdep.NewFullCHT(2048, 4, 2, true)
 	}
 	return cfg
+}
+
+// replayUops streams exactly total uops of p through fn in whole decoded
+// chunks — read-only views straight out of the shared recording, no per-uop
+// copy or cursor call. base is the stream index of us[0]; the statistical
+// figures use it to tell warmup uops from measured ones.
+func replayUops(p trace.Profile, total int, fn func(us []uop.UOp, base int)) {
+	g := trace.Replay(p)
+	for seen := 0; seen < total; {
+		us, _, _ := g.NextBatchRef()
+		if n := total - seen; len(us) > n {
+			us = us[:n]
+		}
+		fn(us, seen)
+		seen += len(us)
+	}
 }

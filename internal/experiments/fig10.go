@@ -84,20 +84,20 @@ func fig10Traces(o Options, gname string) []trace.Profile {
 // order, calling fn with each load's actual L1 outcome. measured=false for
 // warmup loads.
 func replayLoads(p trace.Profile, o Options, fn func(ip, addr uint64, hit, measured bool)) {
-	g := trace.Replay(p)
 	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
 	warmup := o.EffectiveWarmup()
-	total := warmup + o.Uops
-	for i := 0; i < total; i++ {
-		u := g.Next()
-		switch u.Kind {
-		case uop.Load:
-			hit := h.Access(u.Addr) == cache.L1
-			fn(u.IP, u.Addr, hit, i >= warmup)
-		case uop.STA:
-			h.Access(u.Addr)
+	replayUops(p, warmup+o.Uops, func(us []uop.UOp, base int) {
+		for j := range us {
+			u := &us[j]
+			switch u.Kind {
+			case uop.Load:
+				hit := h.Access(u.Addr) == cache.L1
+				fn(u.IP, u.Addr, hit, base+j >= warmup)
+			case uop.STA:
+				h.Access(u.Addr)
+			}
 		}
-	}
+	})
 }
 
 // Fig10Table renders Figure 10: per group, the mispredicted hits (AH-PM,

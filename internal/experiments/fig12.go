@@ -73,26 +73,26 @@ func Fig12(o Options) []Fig12Row {
 		for i, n := range Fig12Predictors {
 			preds[i] = fig12Make(n, banking)
 		}
-		g := trace.Replay(profiles[ti])
-		total := warmup + o.Uops
-		for u := 0; u < total; u++ {
-			up := g.Next()
-			if up.Kind != uop.Load {
-				continue
-			}
-			actual := banking.BankOf(up.Addr)
-			for i, pr := range preds {
-				bank, ok := pr.Predict(up.IP)
-				if u >= warmup {
-					tallies[i].Record(ok, ok && bank == actual)
+		replayUops(profiles[ti], warmup+o.Uops, func(us []uop.UOp, base int) {
+			for j := range us {
+				up := &us[j]
+				if up.Kind != uop.Load {
+					continue
 				}
-				if ab, isAddr := pr.(*bankpred.AddrBank); isAddr {
-					ab.UpdateAddr(up.IP, up.Addr)
-				} else {
-					pr.Update(up.IP, actual)
+				actual := banking.BankOf(up.Addr)
+				for i, pr := range preds {
+					bank, ok := pr.Predict(up.IP)
+					if base+j >= warmup {
+						tallies[i].Record(ok, ok && bank == actual)
+					}
+					if ab, isAddr := pr.(*bankpred.AddrBank); isAddr {
+						ab.UpdateAddr(up.IP, up.Addr)
+					} else {
+						pr.Update(up.IP, actual)
+					}
 				}
 			}
-		}
+		})
 		return tallies
 	})
 	var rows []Fig12Row

@@ -59,22 +59,22 @@ func BankPolicies(o Options) []BankPolicyRow {
 			combs[i] = mk(c.policy, c.threshold, c.minConf)
 		}
 		tallies := make([]bankpred.Stats, len(configs))
-		g := trace.Replay(profiles[ti])
-		total := warmup + o.Uops
-		for i := 0; i < total; i++ {
-			u := g.Next()
-			if u.Kind != uop.Load {
-				continue
-			}
-			actual := banking.BankOf(u.Addr) == 1
-			for j, comb := range combs {
-				r := comb.PredictRated(u.IP)
-				if i >= warmup {
-					tallies[j].Record(r.Predicted, r.Predicted && r.Taken == actual)
+		replayUops(profiles[ti], warmup+o.Uops, func(us []uop.UOp, base int) {
+			for j := range us {
+				u := &us[j]
+				if u.Kind != uop.Load {
+					continue
 				}
-				comb.Update(u.IP, actual)
+				actual := banking.BankOf(u.Addr) == 1
+				for k, comb := range combs {
+					r := comb.PredictRated(u.IP)
+					if base+j >= warmup {
+						tallies[k].Record(r.Predicted, r.Predicted && r.Taken == actual)
+					}
+					comb.Update(u.IP, actual)
+				}
 			}
-		}
+		})
 		return tallies
 	})
 	tallies := make([]bankpred.Stats, len(configs))

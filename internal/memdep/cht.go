@@ -19,7 +19,12 @@ type chtEntry struct {
 // tagged CHT variants. It is indexed by load instruction-pointer bits, as
 // the paper's tables are. The ways of all sets live in one flat backing
 // slice (set s occupies entries[s*ways : (s+1)*ways]) so building a table is
-// a single allocation and clearing it never regrows the heap.
+// a single allocation and clearing it never regrows the heap. The backing
+// slice is allocated lazily, on the first entry insertion: figure sweeps
+// construct a predictor per job just to derive the machine description, and
+// when the runner's memo cache or engine pool answers the job no machine is
+// ever built from it — deferring the table (the dominant per-job
+// allocation) makes such discarded predictors cost a few words.
 type tagTable struct {
 	entries []chtEntry
 	numSets int
@@ -35,7 +40,7 @@ func newTagTable(entries, ways int) *tagTable {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("memdep: set count %d not a power of two", numSets))
 	}
-	return &tagTable{entries: make([]chtEntry, entries), numSets: numSets, ways: ways}
+	return &tagTable{numSets: numSets, ways: ways}
 }
 
 func (t *tagTable) index(ip uint64) (set, tag uint64) {
@@ -48,8 +53,12 @@ func (t *tagTable) set(s uint64) []chtEntry {
 	return t.entries[int(s)*t.ways : int(s+1)*t.ways]
 }
 
-// find returns the entry for ip or nil, refreshing LRU on touch.
+// find returns the entry for ip or nil, refreshing LRU on touch. An
+// untouched (never-allocated) table holds nothing.
 func (t *tagTable) find(ip uint64, touch bool) *chtEntry {
+	if t.entries == nil {
+		return nil
+	}
 	set, tag := t.index(ip)
 	ways := t.set(set)
 	for i := range ways {
@@ -69,6 +78,9 @@ func (t *tagTable) find(ip uint64, touch bool) *chtEntry {
 func (t *tagTable) allocate(ip uint64) *chtEntry {
 	if e := t.find(ip, true); e != nil {
 		return e
+	}
+	if t.entries == nil {
+		t.entries = make([]chtEntry, t.numSets*t.ways)
 	}
 	set, tag := t.index(ip)
 	ways := t.set(set)
@@ -244,20 +256,34 @@ type TaglessCHT struct {
 }
 
 // NewTaglessCHT builds a tagless CHT with the given (power-of-two) entry
-// count; the paper sweeps 2K–32K 1-bit entries.
+// count; the paper sweeps 2K–32K 1-bit entries. Like the tagged tables,
+// the counter arrays materialize on first use, so predictors built only to
+// describe a memoized job cost a few words.
 func NewTaglessCHT(entries int, counterBits uint, trackDistance bool) *TaglessCHT {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic(fmt.Sprintf("memdep: tagless entries %d not a power of two", entries))
 	}
-	c := &TaglessCHT{entries: entries, counterBits: counterBits, trackDistance: trackDistance}
-	c.Reset()
-	return c
+	return &TaglessCHT{entries: entries, counterBits: counterBits, trackDistance: trackDistance}
 }
 
 func (c *TaglessCHT) index(ip uint64) uint64 { return (ip >> 2) % uint64(c.entries) }
 
+// ensure materializes the counter arrays at construction state.
+func (c *TaglessCHT) ensure() {
+	if c.counters != nil {
+		return
+	}
+	c.counters = make([]predict.SatCounter, c.entries)
+	c.distances = make([]int, c.entries)
+	init := predict.NewSatCounter(c.counterBits)
+	for i := range c.counters {
+		c.counters[i] = init
+	}
+}
+
 // Lookup implements Predictor.
 func (c *TaglessCHT) Lookup(ip uint64) Prediction {
+	c.ensure()
 	i := c.index(ip)
 	p := Prediction{Colliding: c.counters[i].Taken()}
 	if p.Colliding && c.trackDistance {
@@ -268,6 +294,7 @@ func (c *TaglessCHT) Lookup(ip uint64) Prediction {
 
 // Record implements Predictor.
 func (c *TaglessCHT) Record(ip uint64, collided bool, distance int) {
+	c.ensure()
 	i := c.index(ip)
 	c.counters[i].Train(collided)
 	if collided && c.trackDistance {
@@ -275,13 +302,12 @@ func (c *TaglessCHT) Record(ip uint64, collided bool, distance int) {
 	}
 }
 
-// Reset implements Predictor. The arrays are allocated once and
-// reinitialized in place, so a reset table is reusable without regrowing the
-// heap.
+// Reset implements Predictor. The arrays, once materialized, are
+// reinitialized in place, so a reset table is reusable without regrowing
+// the heap; an untouched table stays unmaterialized.
 func (c *TaglessCHT) Reset() {
 	if c.counters == nil {
-		c.counters = make([]predict.SatCounter, c.entries)
-		c.distances = make([]int, c.entries)
+		return
 	}
 	init := predict.NewSatCounter(c.counterBits)
 	for i := range c.counters {

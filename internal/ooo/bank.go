@@ -100,7 +100,7 @@ func (b *bankState) reset() {
 
 // admit decides whether a ready load may dispatch this cycle under the bank
 // policy; conflict/mispredict events and extra latency ride in the decision.
-func (b *bankState) admit(ld LoadView) BankDecision {
+func (b *bankState) admit(ld *LoadView) BankDecision {
 	if b.policy == BankOff {
 		return BankDecision{Admit: true}
 	}

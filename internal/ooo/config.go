@@ -150,6 +150,14 @@ type Config struct {
 	// performance.
 	NaiveSchedule bool
 
+	// LegacyAliasRename pins rename to the original per-engine alias-table
+	// producer resolution even when the source publishes the precomputed
+	// dependence side-car (see frontend.go). It produces identical results
+	// and exists as the differential oracle for the side-car path (the
+	// rename differential test runs both and compares Stats); leave it
+	// false for performance.
+	LegacyAliasRename bool
+
 	// Banking configures the multi-banked L1 extension; BankPolicy selects
 	// how the scheduler uses it (see bank.go). Zero value disables banking.
 	Banking cache.Banking

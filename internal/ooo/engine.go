@@ -43,6 +43,24 @@ type BulkSource interface {
 	NextBatch(dst []uop.UOp) int
 }
 
+// DepBatchSource is the bulk seam extended with the static dependence
+// side-car (see internal/trace deplink.go): NextBatchRef exposes the
+// source's current decoded run as direct slices — uops and side-car
+// entries in lockstep, valid until the next call on the source — plus the
+// store base the run's Dep.LastStore deltas are relative to (-1: invalid
+// for this run, the engine falls back to its own MOB watermark). Handing
+// out references instead of filling caller buffers removes a ~52-byte copy
+// per uop from the fetch path; the engine treats the slices as read-only
+// (shared recording chunks back them for every sweep engine at once). The
+// side-car lets rename resolve producers by position arithmetic instead of
+// alias-table lookups; the contract that makes that exact is that the
+// consumer has observed the stream from its beginning, so side-car
+// position deltas and the engine's rename count share an origin.
+type DepBatchSource interface {
+	BulkSource
+	NextBatchRef() (us []uop.UOp, deps []uop.Dep, storeBase int64)
+}
+
 // fetchBufUops sizes the engine's fetch refill buffer: a few rename
 // groups' worth, small enough to stay hot in L1.
 const fetchBufUops = 64
@@ -88,6 +106,11 @@ const (
 type robState struct {
 	u     []uop.UOp
 	flags []uint16
+	// kind and seq mirror u[i].Kind and u[i].Seq as dense arrays: the
+	// dispatch walk's switch and the producer seq-guard compares read small
+	// dense columns instead of striding across 40-byte uop records.
+	kind []uint8
+	seq  []int64
 
 	doneCycle []int64
 
@@ -114,13 +137,20 @@ type robState struct {
 
 	// Load-only state.
 	olderStores []int64 // StoreID of the youngest store older than this load
-	collDist    []int32
-	pred        []memdep.Prediction
-	level       []cache.Level
-	waitStore   []int64 // store id whose STD must complete to resolve this load
-	cacheDone   []int64 // completion time before collision resolution
-	bankDelay   []int64 // stall/flush cycles from banked-cache conflicts
-	dispCycle   []int64 // cycle the load dispatched (for replay accounting)
+	// lv caches the slot's policy-visible LoadView, built once when the
+	// load is first offered (its fields are all fixed at rename): a load
+	// held for many cycles is re-offered with a pointer into this array
+	// instead of re-gathering the view from five parallel slices per
+	// cycle.
+	lv        []LoadView
+	ipHash    []uint32
+	collDist  []int32
+	pred      []memdep.Prediction
+	level     []cache.Level
+	waitStore []int64 // store id whose STD must complete to resolve this load
+	cacheDone []int64 // completion time before collision resolution
+	bankDelay []int64 // stall/flush cycles from banked-cache conflicts
+	dispCycle []int64 // cycle the load dispatched (for replay accounting)
 }
 
 // newROB allocates every parallel slice at the rename-pool size.
@@ -128,6 +158,8 @@ func newROB(pool int) robState {
 	return robState{
 		u:           make([]uop.UOp, pool),
 		flags:       make([]uint16, pool),
+		kind:        make([]uint8, pool),
+		seq:         make([]int64, pool),
 		doneCycle:   make([]int64, pool),
 		src1Prod:    make([]int32, pool),
 		src2Prod:    make([]int32, pool),
@@ -139,6 +171,8 @@ func newROB(pool int) robState {
 		readyAt:     make([]int64, pool),
 		age:         make([]int64, pool),
 		olderStores: make([]int64, pool),
+		lv:          make([]LoadView, pool),
+		ipHash:      make([]uint32, pool),
 		collDist:    make([]int32, pool),
 		pred:        make([]memdep.Prediction, pool),
 		level:       make([]cache.Level, pool),
@@ -152,35 +186,36 @@ func newROB(pool int) robState {
 // size returns the rename-pool capacity.
 func (r *robState) size() int { return len(r.flags) }
 
-// clearSlot rewinds one slot to the freshly renamed state for u: valid, in
-// the scheduling window, producers unresolved, every load/scheduling field
-// zeroed, wakeup list empty. The slot's two wakeup link nodes need no
-// clearing — a node is written when the slot registers on a producer.
+// clearSlot claims one slot for freshly renamed u: valid, in the scheduling
+// window. Every other per-slot field is left stale on purpose — each is
+// proven write-before-read along its lifecycle: the rename paths write both
+// producer pairs explicitly; linkDeps writes age/readyAt and only
+// increments nwaiting (0 at slot entry: a slot is reused only after it
+// dispatched, which requires nwaiting to have drained, and reset zeroes it
+// between runs); waitHead is -1 whenever a slot frees (wakeDependents
+// detaches the chain at completion, reset re-arms it); the load fields
+// (olderStores/ipHash/pred at rename, collDist and the cached lv at
+// classify, level/cacheDone/dispCycle/bankDelay at dispatch/execute,
+// waitStore on the collision path) are each written before their first
+// read, and read only for loads; doneCycle is read only under fDone, which complete() sets
+// together with it. Keeping the clear to two writes is what makes rename
+// cheap enough to be dominated by producer resolution.
 func (r *robState) clearSlot(idx int, u uop.UOp) {
 	r.u[idx] = u
 	r.flags[idx] = fValid | fInRS
-	r.doneCycle[idx] = 0
-	r.src1Prod[idx], r.src2Prod[idx] = -1, -1
-	r.src1Seq[idx], r.src2Seq[idx] = 0, 0
-	r.waitHead[idx] = -1
-	r.nwaiting[idx] = 0
-	r.readyAt[idx] = 0
-	r.age[idx] = 0
-	r.olderStores[idx] = 0
-	r.collDist[idx] = 0
-	r.pred[idx] = memdep.Prediction{}
-	r.level[idx] = 0
-	r.waitStore[idx] = 0
-	r.cacheDone[idx] = 0
-	r.bankDelay[idx] = 0
-	r.dispCycle[idx] = 0
+	r.kind[idx] = uint8(u.Kind)
+	r.seq[idx] = u.Seq
 }
 
 // reset rewinds every slot (Reset/engine-pool path); allocations are kept.
+// nwaiting must be zeroed here: a run can end with uops still in flight
+// whose wakeup counts never drained, and clearSlot relies on reused slots
+// starting at 0.
 func (r *robState) reset() {
 	for i := range r.flags {
 		r.flags[i] = 0
 		r.waitHead[i] = -1
+		r.nwaiting[i] = 0
 	}
 }
 
@@ -189,6 +224,7 @@ func (e *Engine) loadView(idx int32) LoadView {
 	u := &e.rob.u[idx]
 	return LoadView{
 		IP: u.IP, Addr: u.Addr, Size: int(u.Size),
+		IPHash:      e.rob.ipHash[idx],
 		OlderStores: e.rob.olderStores[idx], Pred: e.rob.pred[idx],
 	}
 }
@@ -252,15 +288,27 @@ type Engine struct {
 	cfg Config
 	src Source
 	// bulk is src's BulkSource form (nil when unsupported); fetchBuf with
-	// fetchPos/fetchLen is the refill buffer nextUop drains.
+	// fetchPos/fetchLen is the refill buffer nextUop drains. depSrc is the
+	// side-car-capable form (nil when unsupported or disabled by config);
+	// when set, rename reads fetchRefU/fetchRefD — zero-copy views into the
+	// source's decoded chunk, uops and side-car entries in lockstep — and
+	// fetchStoreBase anchors the current run's Dep.LastStore deltas.
 	bulk               BulkSource
+	depSrc             DepBatchSource
 	fetchBuf           []uop.UOp
+	fetchRefU          []uop.UOp
+	fetchRefD          []uop.Dep
+	fetchStoreBase     int64
 	fetchPos, fetchLen int
 	hier               *cache.Hierarchy
 	missq              *cache.MissQueue
 	// policy is the speculation seam every prediction decision goes
-	// through; oracle caches policy.Oracle().
+	// through; oracle caches policy.Oracle(). defPol is non-nil when the
+	// seam is the built-in adapter — the per-load call sites dispatch to
+	// it directly, skipping the interface table (custom policies take the
+	// interface path unchanged).
 	policy SpeculationPolicy
+	defPol *defaultPolicy
 	oracle bool
 
 	rob   robState
@@ -275,9 +323,14 @@ type Engine struct {
 	// the monotone counter behind rob.age. naive selects the retained
 	// full-walk reference scheduler (Config.NaiveSchedule).
 	readyList []int32
-	wakeQ     wakeHeap
-	renameAge int64
-	naive     bool
+	// readyUnclass counts the loads in readyList still awaiting their
+	// schedule-time classification; the dispatch walk may only early-exit
+	// on port exhaustion when it reaches zero (classification reads MOB
+	// state at the cycle of the load's first offer).
+	readyUnclass int
+	wakeQ        wakeHeap
+	renameAge    int64
+	naive        bool
 
 	now int64
 
@@ -285,6 +338,15 @@ type Engine struct {
 	regSeq  [uop.MaxArchRegs]int64
 
 	mob mobState
+
+	// Completed-store watermarks (memory.go): every in-window store with id
+	// below the watermark whose STA has renamed is known to have dispatched
+	// its STA (staDoneTo) or both halves (allDoneTo). They advance lazily at
+	// query time and roll back at the one place mStaSeen is set, so the
+	// per-cycle ordering checks and load classification walk only the
+	// suffix of the MOB that can still change instead of rescanning from
+	// the oldest store.
+	staDoneTo, allDoneTo int64
 
 	// pendingColl lists slots of dispatched loads awaiting a colliding
 	// STD's completion time.
@@ -376,6 +438,7 @@ func NewEngine(cfg Config, src Source) *Engine {
 	} else {
 		e.policy = DefaultPolicy(cfg, deps)
 	}
+	e.defPol, _ = e.policy.(*defaultPolicy)
 	e.oracle = e.policy.Oracle()
 	e.resetState()
 	return e
@@ -388,6 +451,7 @@ func (e *Engine) resetState() {
 	e.rob.reset()
 	e.head, e.count, e.rsCount = 0, 0, 0
 	e.readyList = e.readyList[:0]
+	e.readyUnclass = 0
 	e.wakeQ = e.wakeQ[:0]
 	e.renameAge = 0
 	e.now = 0
@@ -397,6 +461,7 @@ func (e *Engine) resetState() {
 	}
 	e.mob.start, e.mob.length = 0, 0
 	e.mob.first = 1
+	e.staDoneTo, e.allDoneTo = 1, 1
 	e.pendingColl = e.pendingColl[:0]
 	e.awaitingBranch, e.resumeAt = false, 0
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
@@ -431,10 +496,19 @@ func (e *Engine) Reset(src Source) bool {
 }
 
 // setSource wires a (possibly bulk-capable) uop supplier and discards any
-// buffered tail of the previous one.
+// buffered tail of the previous one. Side-car rename engages only when the
+// source provides it, the configuration has not pinned the legacy
+// alias-table path, and the rename pool is small enough that a saturated
+// producer delta always compares as retired (the exactness condition of
+// the watermark test).
 func (e *Engine) setSource(src Source) {
 	e.src = src
 	e.bulk, _ = src.(BulkSource)
+	e.depSrc, _ = src.(DepBatchSource)
+	if e.cfg.LegacyAliasRename || e.cfg.RenamePool >= uop.DepSaturated {
+		e.depSrc = nil
+	}
+	e.fetchRefU, e.fetchRefD = nil, nil
 	e.fetchPos, e.fetchLen = 0, 0
 }
 
@@ -573,4 +647,14 @@ func (e *Engine) cycle() {
 	e.attributeCycle()
 }
 
-func (e *Engine) robIdx(pos int) int { return (e.head + pos) % e.rob.size() }
+// robIdx maps a head-relative window position to its slot. Every caller
+// passes pos < size (rename stalls before count reaches the pool size), so
+// one conditional wrap replaces the modulo on this rename/dispatch-hot
+// helper.
+func (e *Engine) robIdx(pos int) int {
+	i := e.head + pos
+	if n := e.rob.size(); i >= n {
+		i -= n
+	}
+	return i
+}

@@ -23,7 +23,12 @@ func (e *Engine) executeLoad(idx int32) {
 	// Latency prediction must precede the access (the perfect predictor
 	// probes current cache state). Level-capable policies refine the binary
 	// hit/miss to the servicing level (§2.2 "for all levels").
-	predLevel := e.policy.PredictLevel(r.u[idx].IP, addr, e.now)
+	var predLevel cache.Level
+	if p := e.defPol; p != nil {
+		predLevel = p.PredictLevel(r.u[idx].IP, addr, e.now)
+	} else {
+		predLevel = e.policy.PredictLevel(r.u[idx].IP, addr, e.now)
+	}
 	predHit := predLevel == cache.L1
 	level := e.hier.Access(addr)
 	r.level[idx] = level

@@ -92,6 +92,61 @@ func (e *Engine) mobSegs(maxID int64) (a0, a1, b0, b1 int) {
 	return a0, a1, 0, b1
 }
 
+// storesDoneTo advances a completed-store watermark and returns it: the id
+// of the oldest in-window store that is not known complete for want (or one
+// past the youngest record when all are). A record counts as complete when
+// its STA has renamed and the want bits are all set; records whose STA has
+// not renamed yet (gap-filled by mobEnsure, or an STD arriving first) halt
+// the advance — they may become blocking later, and the rename STA case
+// rolls the watermarks back below any id whose mStaSeen arrives late, so
+// ids below the returned watermark never block an ordering query. MOB flag
+// bits are only ever set on a live record, which is what makes the cached
+// value monotone between rollbacks.
+func (e *Engine) storesDoneTo(cached *int64, want uint8) int64 {
+	id := *cached
+	if id < e.mob.first {
+		id = e.mob.first
+	}
+	end := e.mob.first + int64(e.mob.length)
+	for id < end {
+		f := e.mob.flags[e.mobIdx(int(id-e.mob.first))]
+		if f&mStaSeen == 0 || f&want != want {
+			break
+		}
+		id++
+	}
+	*cached = id
+	return id
+}
+
+// mobSegsFrom is mobSegs restricted to ids ≥ minID: the ring positions of
+// the in-window stores with minID ≤ id ≤ maxID as up to two contiguous
+// ranges. The classification walks pass the allDoneTo watermark as minID,
+// skipping the known-complete prefix that cannot satisfy their predicates.
+func (e *Engine) mobSegsFrom(minID, maxID int64) (a0, a1, b0, b1 int) {
+	lo := minID - e.mob.first
+	if lo < 0 {
+		lo = 0
+	}
+	k := maxID - e.mob.first + 1
+	if n := int64(e.mob.length); k > n {
+		k = n
+	}
+	if k <= lo {
+		return 0, 0, 0, 0
+	}
+	n := e.mob.capacity()
+	a0 = e.mob.start + int(lo)
+	a1 = e.mob.start + int(k)
+	switch {
+	case a0 >= n: // whole range is past the wrap point
+		return a0 - n, a1 - n, 0, 0
+	case a1 > n: // range straddles the wrap point
+		return a0, n, 0, a1 - n
+	}
+	return a0, a1, 0, 0
+}
+
 // mobPrune drops fully retired stores from the MOB head.
 func (e *Engine) mobPrune() {
 	const retired = mStaRetired | mStdRetired
@@ -126,13 +181,21 @@ func overlap(a uint64, asz int, b uint64, bsz int) bool {
 func (e *Engine) classifyLoad(idx int32) {
 	r := &e.rob
 	r.flags[idx] |= fClassified
+	if !e.naive {
+		// The load was counted unclassified when it entered the ready list
+		// (insertReady); the naive walk never maintains that list.
+		e.readyUnclass--
+	}
 	addr, size := r.u[idx].Addr, int(r.u[idx].Size)
 	conflicting, colliding, dist := false, false, int64(0)
 	older := r.olderStores[idx]
 	const executed = mStaExec | mStdExec
 	flags, addrs, sizes := e.mob.flags, e.mob.addr, e.mob.size
-	a0, a1, b0, b1 := e.mobSegs(older)
-	id := e.mob.first
+	// Stores below the both-halves watermark can satisfy neither the
+	// conflicting nor the colliding predicate; walk only the live suffix.
+	lo := e.storesDoneTo(&e.allDoneTo, executed) // ≥ mob.first
+	a0, a1, b0, b1 := e.mobSegsFrom(lo, older)
+	id := lo
 	for _, sg := range [2][2]int{{a0, a1}, {b0, b1}} {
 		for pos := sg[0]; pos < sg[1]; pos++ {
 			// A store is ambiguous only while a half is undispatched: once
@@ -165,7 +228,9 @@ func (e *Engine) classifyLoad(idx int32) {
 func (e *Engine) barrierBlocked(maxID int64) bool {
 	const executed = mStaExec | mStdExec
 	flags := e.mob.flags
-	a0, a1, b0, b1 := e.mobSegs(maxID)
+	// mBarrier is only ever set together with mStaSeen, so stores below the
+	// both-halves watermark cannot be blocking barriers.
+	a0, a1, b0, b1 := e.mobSegsFrom(e.storesDoneTo(&e.allDoneTo, executed), maxID)
 	for pos := a0; pos < a1; pos++ {
 		if f := flags[pos]; f&mBarrier != 0 && f&executed != executed {
 			return true
@@ -195,31 +260,29 @@ type engineMOB struct{ e *Engine }
 func (m engineMOB) FirstStore() int64 { return m.e.mob.first }
 
 // StoresComplete reports whether all in-window stores with id ≤ maxID have
-// dispatched their STA (and, if withSTD, their STD).
+// dispatched their STA (and, if withSTD, their STD). The watermark compare
+// makes this O(1) amortized: it is the per-cycle ordering query the
+// Traditional and Conservative schemes ask for every held load, and before
+// the watermarks a long MOB meant rescanning it from the oldest store each
+// time.
 func (m engineMOB) StoresComplete(maxID int64, withSTD bool) bool {
-	want := uint8(mStaExec)
+	// Fast path: the cached watermark already clears maxID. Watermarks only
+	// regress at an STA rename rollback, so a clearing cache needs no
+	// re-examination — the advance loop (and its MOB flag loads) is skipped
+	// entirely in the steady state where the queried load trails the
+	// completed-store frontier.
 	if withSTD {
-		want |= mStdExec
+		return m.e.allDoneTo > maxID ||
+			m.e.storesDoneTo(&m.e.allDoneTo, mStaExec|mStdExec) > maxID
 	}
-	flags := m.e.mob.flags
-	a0, a1, b0, b1 := m.e.mobSegs(maxID)
-	for pos := a0; pos < a1; pos++ {
-		if f := flags[pos]; f&mStaSeen != 0 && f&want != want {
-			return false
-		}
-	}
-	for pos := b0; pos < b1; pos++ {
-		if f := flags[pos]; f&mStaSeen != 0 && f&want != want {
-			return false
-		}
-	}
-	return true
+	return m.e.staDoneTo > maxID ||
+		m.e.storesDoneTo(&m.e.staDoneTo, mStaExec) > maxID
 }
 
 func (m engineMOB) OverlapIncomplete(maxID int64, addr uint64, size int) bool {
 	const executed = mStaExec | mStdExec
 	flags, addrs, sizes := m.e.mob.flags, m.e.mob.addr, m.e.mob.size
-	a0, a1, b0, b1 := m.e.mobSegs(maxID)
+	a0, a1, b0, b1 := m.e.mobSegsFrom(m.e.storesDoneTo(&m.e.allDoneTo, executed), maxID)
 	for _, sg := range [2][2]int{{a0, a1}, {b0, b1}} {
 		for pos := sg[0]; pos < sg[1]; pos++ {
 			f := flags[pos]

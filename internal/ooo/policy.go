@@ -27,7 +27,7 @@ type SpeculationPolicy interface {
 	// AllowOrdering decides at schedule time whether a ready load may
 	// dispatch ahead of the older stores visible in mob. Returning false
 	// holds the load in the scheduling window for this cycle.
-	AllowOrdering(ld LoadView, mob MOBView) bool
+	AllowOrdering(ld *LoadView, mob MOBView) bool
 
 	// BeginCycle resets any per-cycle steering state (bank port claims)
 	// before the scheduler walks the window.
@@ -36,7 +36,7 @@ type SpeculationPolicy interface {
 	// AdmitBank steers an ordering-approved load to a cache bank. The
 	// decision's Admit=false holds the load; stat events and extra latency
 	// ride back in the decision for the engine to apply.
-	AdmitBank(ld LoadView) BankDecision
+	AdmitBank(ld *LoadView) BankDecision
 
 	// PredictLevel returns the hierarchy level the scheduler assumes the
 	// load is serviced from; dependents are scheduled for that latency.
@@ -54,9 +54,16 @@ type SpeculationPolicy interface {
 }
 
 // LoadView is the read-only slice of a load's state a policy decision sees.
+// It is handed to policies by pointer purely to keep the per-decision calls
+// copy-free; the view is stack-owned by the scheduler and valid only for
+// the duration of the call — policies must not retain or mutate it.
 type LoadView struct {
 	// IP and Addr identify the access.
 	IP, Addr uint64
+	// IPHash is uop.HashIP(IP), precomputed by the trace layer's dependence
+	// side-car (or at rename on the legacy path) so table-indexing policies
+	// need not fold the 64-bit IP themselves.
+	IPHash uint32
 	// Size is the access width in bytes.
 	Size int
 	// OlderStores is the id of the youngest store older than this load;
@@ -178,7 +185,7 @@ func (p *defaultPolicy) PredictCollision(ip uint64) memdep.Prediction {
 }
 
 // AllowOrdering applies the six schemes of §3.1.
-func (p *defaultPolicy) AllowOrdering(ld LoadView, mob MOBView) bool {
+func (p *defaultPolicy) AllowOrdering(ld *LoadView, mob MOBView) bool {
 	switch p.scheme {
 	case memdep.Traditional:
 		return mob.StoresComplete(ld.OlderStores, false)
@@ -224,7 +231,7 @@ func (p *defaultPolicy) AllowOrdering(ld LoadView, mob MOBView) bool {
 
 func (p *defaultPolicy) BeginCycle() { p.bank.begin() }
 
-func (p *defaultPolicy) AdmitBank(ld LoadView) BankDecision { return p.bank.admit(ld) }
+func (p *defaultPolicy) AdmitBank(ld *LoadView) BankDecision { return p.bank.admit(ld) }
 
 func (p *defaultPolicy) PredictLevel(ip, addr uint64, now int64) cache.Level {
 	if lp, ok := p.hmp.(hitmiss.LevelPredictor); ok {

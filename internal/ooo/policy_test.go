@@ -92,7 +92,7 @@ func TestExclusiveExtremeDistances(t *testing.T) {
 // policy instead of a cycle-loop edit.
 type allowAllPolicy struct{ SpeculationPolicy }
 
-func (allowAllPolicy) AllowOrdering(LoadView, MOBView) bool { return true }
+func (allowAllPolicy) AllowOrdering(*LoadView, MOBView) bool { return true }
 
 // TestNewPolicyOverridesOrdering checks a custom policy actually steers the
 // schedule stage: an always-allow ordering policy on a Traditional machine

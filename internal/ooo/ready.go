@@ -1,6 +1,10 @@
 package ooo
 
-import "math"
+import (
+	"math"
+
+	"loadsched/internal/uop"
+)
 
 // Event-driven scheduling core. The naive scheduler re-scans the whole
 // window every cycle asking "are your operands ready yet?"; this file keeps
@@ -170,6 +174,12 @@ func (e *Engine) enqueueReady(idx int32, at int64) {
 // append. Insertion during the dispatch walk is safe: a same-cycle waker's
 // consumer is younger than its producer, so it lands after the walk index.
 func (e *Engine) insertReady(idx int32) {
+	if uop.Kind(e.rob.kind[idx]) == uop.Load && e.rob.flags[idx]&fClassified == 0 {
+		// An unclassified load's first offer runs classification, which
+		// reads the MOB at that exact cycle — the dispatch walk may not
+		// early-exit past it (see dispatch).
+		e.readyUnclass++
+	}
 	rl := e.readyList
 	ages := e.rob.age
 	age := ages[idx]

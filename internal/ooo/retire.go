@@ -18,7 +18,9 @@ func (e *Engine) retire() {
 		}
 		e.retireEntry(idx)
 		e.rob.flags[idx] &^= fValid
-		e.head = (e.head + 1) % e.rob.size()
+		if e.head++; e.head == e.rob.size() {
+			e.head = 0
+		}
 		e.count--
 	}
 }
@@ -26,7 +28,7 @@ func (e *Engine) retire() {
 func (e *Engine) retireEntry(idx int32) {
 	e.stats.Uops++
 	e.cycleRetired++
-	switch e.rob.u[idx].Kind {
+	switch uop.Kind(e.rob.kind[idx]) {
 	case uop.Load:
 		e.retireLoad(idx)
 	case uop.STA:
@@ -81,11 +83,16 @@ func (e *Engine) retireLoad(idx int32) {
 	// predictors themselves learn through the policy seam.
 	actualHit := f&fActualHit != 0
 	e.stats.HM.Record(actualHit, f&fPredHit != 0)
-	e.policy.TrainRetire(TrainEvent{
+	ev := TrainEvent{
 		IP: r.u[idx].IP, Addr: r.u[idx].Addr, Now: e.now,
 		Colliding: colliding, Distance: int(r.collDist[idx]),
 		Hit: actualHit, Level: r.level[idx],
-	})
+	}
+	if p := e.defPol; p != nil {
+		p.TrainRetire(ev)
+	} else {
+		e.policy.TrainRetire(ev)
+	}
 	if e.cfg.OnLoadRetire != nil {
 		e.cfg.OnLoadRetire(LoadEvent{
 			IP: r.u[idx].IP, Addr: r.u[idx].Addr,

@@ -24,27 +24,41 @@ func (e *Engine) dispatch() {
 	}
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
 	e.drainReplayDebt()
-	e.policy.BeginCycle()
+	if p := e.defPol; p != nil {
+		p.bank.begin()
+	} else {
+		e.policy.BeginCycle()
+	}
 	e.drainWakeQ()
-	dispatched := false
 	// Indexed loop: a zero-latency completion inside the walk may insert a
-	// same-cycle consumer, which (being younger) always lands after i.
+	// same-cycle consumer, which (being younger) always lands after i. Held
+	// entries compact toward the front in the same pass (w never catches
+	// i, so the writes stay behind the read cursor and appended entries
+	// are untouched until visited).
+	w := 0
 	for i := 0; i < len(e.readyList); i++ {
 		idx := e.readyList[i]
 		e.dispatchEntry(idx)
-		if e.rob.flags[idx]&fDispatched != 0 {
-			dispatched = true
+		if e.rob.flags[idx]&fDispatched == 0 {
+			e.readyList[w] = idx // still held: re-offer next cycle
+			w++
+		}
+		// Early exit: with every port class exhausted nothing further can
+		// dispatch, and visiting the rest would only re-note holds — the
+		// CPI stack keeps just the first note, and every remaining entry
+		// would note exactly stallPort. The walk must still reach any
+		// unclassified load (its first offer classifies against this
+		// cycle's MOB state); readyUnclass tracks whether one remains.
+		if e.readyUnclass == 0 && i+1 < len(e.readyList) &&
+			e.intUsed >= e.cfg.IntUnits && e.memUsed >= e.cfg.MemUnits &&
+			e.fpUsed >= e.cfg.FPUnits && e.cplxUsed >= e.cfg.ComplexUnits &&
+			e.stdUsed >= e.cfg.STDPorts {
+			e.noteSchedHold(stallPort)
+			w += copy(e.readyList[w:], e.readyList[i+1:])
+			break
 		}
 	}
-	if dispatched {
-		kept := e.readyList[:0]
-		for _, idx := range e.readyList {
-			if e.rob.flags[idx]&fDispatched == 0 {
-				kept = append(kept, idx) // still held: re-offer next cycle
-			}
-		}
-		e.readyList = kept
-	}
+	e.readyList = e.readyList[:w]
 }
 
 // processMissDetections arms the miss-recovery bubble for every AM-PH miss
@@ -77,7 +91,11 @@ func (e *Engine) processMissDetections() {
 func (e *Engine) dispatchNaive() {
 	e.intUsed, e.memUsed, e.fpUsed, e.cplxUsed, e.stdUsed = 0, 0, 0, 0, 0
 	e.drainReplayDebt()
-	e.policy.BeginCycle()
+	if p := e.defPol; p != nil {
+		p.bank.begin()
+	} else {
+		e.policy.BeginCycle()
+	}
 	for pos := 0; pos < e.count; pos++ {
 		idx := int32(e.robIdx(pos))
 		f := e.rob.flags[idx]
@@ -95,7 +113,7 @@ func (e *Engine) dispatchNaive() {
 // schedulers funnel through here, so port allocation, hold accounting and
 // completion are identical by construction.
 func (e *Engine) dispatchEntry(idx int32) {
-	switch e.rob.u[idx].Kind {
+	switch uop.Kind(e.rob.kind[idx]) {
 	case uop.Load:
 		e.maybeDispatchLoad(idx)
 	case uop.STA:
@@ -129,7 +147,7 @@ func (e *Engine) dispatchEntry(idx int32) {
 	default: // IntALU, Branch, Nop
 		if e.intUsed < e.cfg.IntUnits {
 			e.intUsed++
-			e.complete(idx, e.cfg.latencyOf(e.rob.u[idx].Kind))
+			e.complete(idx, e.cfg.latencyOf(uop.Kind(e.rob.kind[idx])))
 			if e.rob.flags[idx]&fBlockingBranch != 0 {
 				e.awaitingBranch = false
 				e.resumeAt = e.rob.doneCycle[idx] + int64(e.cfg.FrontEndRefill)
@@ -145,18 +163,28 @@ func (e *Engine) dispatchEntry(idx int32) {
 func (e *Engine) maybeDispatchLoad(idx int32) {
 	// Classification happens at schedule time: the first cycle the load's
 	// operands are ready (paper §2.1 definition of a conflicting load).
+	// The policy-visible view is built once alongside it — every field is
+	// fixed at rename — and held loads are re-offered with a pointer into
+	// the slot's cached view.
 	if e.rob.flags[idx]&fClassified == 0 {
 		e.classifyLoad(idx)
+		e.rob.lv[idx] = e.loadView(idx)
 	}
 	if e.memUsed >= e.cfg.MemUnits {
 		e.noteSchedHold(stallPort)
 		return
 	}
-	if !e.orderingAllows(idx) {
+	lv := &e.rob.lv[idx]
+	if !e.orderingAllows(idx, lv) {
 		e.noteSchedHold(stallOrdering)
 		return
 	}
-	d := e.policy.AdmitBank(e.loadView(idx))
+	var d BankDecision
+	if p := e.defPol; p != nil {
+		d = p.bank.admit(lv)
+	} else {
+		d = e.policy.AdmitBank(lv)
+	}
 	if d.Conflict {
 		e.stats.BankConflicts++
 	}
@@ -178,11 +206,16 @@ func (e *Engine) maybeDispatchLoad(idx int32) {
 // orderingAllows applies the optional [Hess95] store-barrier constraint (a
 // MOB property layered on every scheme) and then the policy's ordering
 // decision.
-func (e *Engine) orderingAllows(idx int32) bool {
+// lv is the caller's already-built view of slot idx — maybeDispatchLoad
+// shares one construction between this check and AdmitBank.
+func (e *Engine) orderingAllows(idx int32, lv *LoadView) bool {
 	if e.cfg.Barrier != nil && e.barrierBlocked(e.rob.olderStores[idx]) {
 		return false
 	}
-	return e.policy.AllowOrdering(e.loadView(idx), e.mobView())
+	if p := e.defPol; p != nil {
+		return p.AllowOrdering(lv, e.mobView())
+	}
+	return e.policy.AllowOrdering(lv, e.mobView())
 }
 
 // drainReplayDebt spends owed replay slots against this cycle's ports.
@@ -207,7 +240,7 @@ func (e *Engine) producerReady(idx int32, seq int64) bool {
 	if idx < 0 {
 		return true
 	}
-	if e.rob.flags[idx]&fValid == 0 || e.rob.u[idx].Seq != seq {
+	if e.rob.flags[idx]&fValid == 0 || e.rob.seq[idx] != seq {
 		return true // retired
 	}
 	return e.rob.flags[idx]&fDone != 0 && e.rob.doneCycle[idx] <= e.now

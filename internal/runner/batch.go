@@ -13,7 +13,11 @@ import (
 // engines one full run at a time streams the whole recording through the
 // data cache once per engine; stepping them in lockstep over a shared
 // window reads each stretch of the recording once and fans it out to every
-// engine in the unit while it is still resident.
+// engine in the unit while it is still resident. The recording's static
+// dependence side-car rides the same sharing: it is built once per chunk at
+// record time and every engine's cursor hands out read-only views of it
+// (Cursor.NextBatchRef), so the per-uop rename links are computed once for
+// the whole unit, not once per engine.
 // Variables rather than constants only so the lockstep differential test
 // can shrink them to force windowing on small jobs.
 var (

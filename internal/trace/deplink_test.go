@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+	"unsafe"
+
+	"loadsched/internal/uop"
+)
+
+// refDeps recomputes one uop's side-car entry from the absolute stream
+// history — the brute-force ground truth the streaming analyzer must match.
+type refDeps struct {
+	pos       int64
+	lastWrite [uop.MaxArchRegs]int64 // position+1; 0 = none
+	storeMax  int64
+}
+
+func (r *refDeps) expect(u *uop.UOp) (src1, src2 uint16, lastStore int64) {
+	back := func(reg uop.Reg) uint16 {
+		if lw := r.lastWrite[reg]; lw != 0 {
+			if d := r.pos - lw + 1; d < uop.DepSaturated {
+				return uint16(d)
+			}
+			return uop.DepSaturated
+		}
+		return 0
+	}
+	src1, src2, lastStore = back(u.Src1), back(u.Src2), r.storeMax
+	if u.Dst != uop.NoReg {
+		r.lastWrite[u.Dst] = r.pos + 1
+	}
+	if u.StoreID > r.storeMax {
+		r.storeMax = u.StoreID
+	}
+	r.pos++
+	return
+}
+
+// TestCursorDepsMatchGroundTruth pins NextBatchDeps — producer deltas, IP
+// hashes and absolute last-store ids — to a brute-force recomputation over
+// the whole stream, across chunk boundaries and past the sharing cap into
+// the recycled private tail view.
+func TestCursorDepsMatchGroundTruth(t *testing.T) {
+	defer func(old int) { maxSharedUops = old }(maxSharedUops)
+	maxSharedUops = 2 * ChunkUops
+
+	p := Profile{Name: "deplink-truth", Seed: 91}
+	c := Replay(p)
+	var ref refDeps
+	total := 5 * ChunkUops // crosses the cap into the private tail
+	buf := make([]uop.UOp, 150)
+	deps := make([]uop.Dep, 150)
+	for consumed := 0; consumed < total; {
+		n, base := c.NextBatchDeps(buf, deps)
+		if n <= 0 {
+			t.Fatalf("NextBatchDeps returned %d", n)
+		}
+		if base < 0 {
+			t.Fatalf("store base invalid at uop %d; generator ids are dense", consumed)
+		}
+		for i := 0; i < n; i++ {
+			u, d := &buf[i], &deps[i]
+			s1, s2, ls := ref.expect(u)
+			if d.Src1Back != s1 || d.Src2Back != s2 {
+				t.Fatalf("uop %d: producer deltas (%d,%d), want (%d,%d)",
+					consumed+i, d.Src1Back, d.Src2Back, s1, s2)
+			}
+			if got := base + int64(d.LastStore); got != ls {
+				t.Fatalf("uop %d: last store %d (base %d + %d), want %d",
+					consumed+i, got, base, d.LastStore, ls)
+			}
+			if d.IPHash != uop.HashIP(u.IP) {
+				t.Fatalf("uop %d: IPHash %#x, want %#x", consumed+i, d.IPHash, uop.HashIP(u.IP))
+			}
+		}
+		consumed += n
+	}
+}
+
+// TestCursorDepsMatchAcrossConsumers checks that a deps-consuming cursor
+// and a plain Next cursor observe the same uop stream (the side-car rides
+// along without perturbing replay) and that two cursors — one of which
+// forced the shared side-car build — see identical deps.
+func TestCursorDepsMatchAcrossConsumers(t *testing.T) {
+	p := Profile{Name: "deplink-share", Seed: 92}
+	a, b, scalar := Replay(p), Replay(p), Replay(p)
+	buf := make([]uop.UOp, 200)
+	deps := make([]uop.Dep, 200)
+	buf2 := make([]uop.UOp, 200)
+	deps2 := make([]uop.Dep, 200)
+	for consumed := 0; consumed < 3*ChunkUops; {
+		n, base := a.NextBatchDeps(buf, deps)
+		for done := 0; done < n; {
+			m, base2 := b.NextBatchDeps(buf2[:n-done], deps2)
+			if base2 != base {
+				t.Fatalf("store bases diverged: %d vs %d", base2, base)
+			}
+			for i := 0; i < m; i++ {
+				if deps2[i] != deps[done+i] {
+					t.Fatalf("uop %d: deps diverged between cursors", consumed+done+i)
+				}
+			}
+			done += m
+		}
+		for i := 0; i < n; i++ {
+			if want := scalar.Next(); buf[i] != want {
+				t.Fatalf("uop %d: deps cursor perturbs the uop stream", consumed+i)
+			}
+		}
+		consumed += n
+	}
+	if Materialize(p).SidecarBytes() == 0 {
+		t.Fatal("shared side-car bytes not accounted")
+	}
+}
+
+// TestStreamReaderDepsMatchGroundTruth pins the streaming file replay's
+// side-car across wrap-around: register deltas keep reaching through the
+// wrap (the analyzer's alias state persists, matching the renamer), store
+// bases are renumbered per pass, and the reported metrics move.
+func TestStreamReaderDepsMatchGroundTruth(t *testing.T) {
+	p := Profile{Name: "deplink-stream", Seed: 93}
+	path := filepath.Join(t.TempDir(), "deps.trace")
+	const fileUops = ChunkUops + ChunkUops/2
+	if err := WriteTraceFile(path, p, fileUops); err != nil {
+		t.Fatal(err)
+	}
+	r, err := StreamTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var ref refDeps
+	buf := make([]uop.UOp, 130)
+	deps := make([]uop.Dep, 130)
+	total := 3*fileUops + ChunkUops/4 // several wraps
+	for consumed := 0; consumed < total; {
+		n, base := r.NextBatchDeps(buf, deps)
+		if n <= 0 {
+			t.Fatalf("NextBatchDeps returned %d", n)
+		}
+		if base < 0 {
+			t.Fatalf("store base invalid at uop %d", consumed)
+		}
+		for i := 0; i < n; i++ {
+			s1, s2, ls := ref.expect(&buf[i])
+			if deps[i].Src1Back != s1 || deps[i].Src2Back != s2 {
+				t.Fatalf("uop %d: producer deltas (%d,%d), want (%d,%d)",
+					consumed+i, deps[i].Src1Back, deps[i].Src2Back, s1, s2)
+			}
+			if got := base + int64(deps[i].LastStore); got != ls {
+				t.Fatalf("uop %d: last store %d, want %d", consumed+i, got, ls)
+			}
+		}
+		consumed += n
+	}
+	if r.SidecarBytes() == 0 || r.SidecarBuildNanos() < 0 {
+		t.Fatalf("side-car metrics missing: bytes=%d nanos=%d", r.SidecarBytes(), r.SidecarBuildNanos())
+	}
+}
+
+// TestRecordingSidecarDensity pins the side-car's memory cost alongside the
+// packed-chunk density: exactly 12 bytes per uop of built chunk, and the
+// Dep struct itself must stay at 12 bytes — it is the unit the accounting
+// and the ~30%-of-view overhead story are based on.
+func TestRecordingSidecarDensity(t *testing.T) {
+	if sz := unsafe.Sizeof(uop.Dep{}); int64(sz) != depSize {
+		t.Fatalf("uop.Dep is %d bytes, accounting assumes %d", sz, depSize)
+	}
+	p := Profile{Name: "sidecar-density", Seed: 94}
+	c := Replay(p)
+	buf := make([]uop.UOp, 256)
+	deps := make([]uop.Dep, 256)
+	const n = 4 * ChunkUops
+	for consumed := 0; consumed < n; {
+		m, _ := c.NextBatchDeps(buf, deps)
+		consumed += m
+	}
+	r := Materialize(p)
+	built := r.SidecarBytes()
+	if built < int64(n)*depSize {
+		t.Fatalf("side-car bytes %d, want at least %d", built, int64(n)*depSize)
+	}
+	perUop := float64(built) / float64(r.Len())
+	if perUop > 12 {
+		t.Fatalf("side-car costs %.2f bytes/uop, want <= 12", perUop)
+	}
+	t.Logf("side-car density: %.2f bytes/uop over %d uops", perUop, r.Len())
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"loadsched/internal/uop"
 )
@@ -369,6 +370,18 @@ type StreamReader struct {
 	view    ChunkView
 	viewPos int
 
+	// Dependence side-car, rebuilt per recycled chunk during replay (never
+	// during the open-time scan, which must not advance the analyzer). The
+	// analyzer's register state carries across wraps — exactly like the
+	// renamer's alias tables, a producer can reach back through a wrap —
+	// while its store counter restarts with the raw IDs at each rewind.
+	// deps is one recycled buffer, so side-car replay stays constant-RSS.
+	an       depAnalyzer
+	deps     []uop.Dep
+	depBase  int64 // absolute store base for the current chunk's deltas
+	depUops  int64 // uops whose side-car has been built (across wraps)
+	depNanos int64 // cumulative side-car build time
+
 	passUops           int64 // uops consumed from the file this pass
 	seqBase, storeBase int64
 	wrapSeq, wrapStore int64 // per-pass offsets, fixed by the open-time scan
@@ -483,6 +496,10 @@ func (r *StreamReader) rewind() error {
 	r.br.Reset(r.rs)
 	r.passUops, r.viewPos = 0, 0
 	r.view.us = nil
+	// The analyzer's state carries across the wrap untouched: nextChunk
+	// renumbers each decoded chunk in place before the analyzer observes
+	// it, so register reach-through and the absolute store watermark both
+	// continue seamlessly into the next pass.
 	return nil
 }
 
@@ -520,10 +537,6 @@ func (r *StreamReader) Next() uop.UOp {
 	}
 	u := r.view.us[r.viewPos]
 	r.viewPos++
-	u.Seq += r.seqBase
-	if u.StoreID != 0 {
-		u.StoreID += r.storeBase
-	}
 	return u
 }
 
@@ -537,12 +550,6 @@ func (r *StreamReader) NextBatch(dst []uop.UOp) int {
 		r.nextChunk()
 	}
 	n := copy(dst, r.view.us[r.viewPos:])
-	for j := 0; j < n; j++ {
-		dst[j].Seq += r.seqBase
-		if dst[j].StoreID != 0 {
-			dst[j].StoreID += r.storeBase
-		}
-	}
 	r.viewPos += n
 	return n
 }
@@ -563,7 +570,74 @@ func (r *StreamReader) nextChunk() {
 	}
 	r.passUops += int64(n)
 	r.viewPos = 0
+	// Renumber the chunk in place, once per decode: readChunk decodes
+	// fresh bytes into the reused view each pass, so folding the wrap
+	// bases here lets every consumer path — including NextBatchRef's
+	// zero-copy views — read final uops with no per-batch fixup. The
+	// first pass (both bases zero) skips the loop.
+	if r.seqBase != 0 || r.storeBase != 0 {
+		for j := 0; j < n; j++ {
+			r.view.us[j].Seq += r.seqBase
+			if r.view.us[j].StoreID != 0 {
+				r.view.us[j].StoreID += r.storeBase
+			}
+		}
+	}
+	// Build the chunk's side-car unconditionally: the analyzer must observe
+	// every replayed uop to keep its carry correct whatever mix of Next and
+	// NextBatchDeps the consumer uses, and emitting the links costs barely
+	// more than observing. The uops are already renumbered, so the
+	// analyzer's store watermark — and with it the returned base — is
+	// absolute across wraps.
+	if cap(r.deps) < n {
+		r.deps = make([]uop.Dep, ChunkUops)
+	}
+	start := time.Now()
+	r.depBase = r.an.buildInto(r.deps[:n], r.view.us[:n])
+	r.depNanos += time.Since(start).Nanoseconds()
+	r.depUops += int64(n)
 }
+
+// NextBatchDeps is NextBatch plus the chunk's dependence side-car (see
+// Cursor.NextBatchDeps for the contract). The chunk is renumbered in place
+// at decode time, so uops and deps are both straight copies.
+func (r *StreamReader) NextBatchDeps(dst []uop.UOp, deps []uop.Dep) (int, int64) {
+	if len(dst) == 0 {
+		return 0, 0
+	}
+	if r.viewPos == len(r.view.us) {
+		r.nextChunk()
+	}
+	n := copy(dst, r.view.us[r.viewPos:])
+	if m := copy(deps, r.deps[r.viewPos:r.viewPos+n]); m < n {
+		n = m
+	}
+	r.viewPos += n
+	return n, r.depBase
+}
+
+// NextBatchRef returns the remainder of the current decoded chunk as direct
+// views (see Cursor.NextBatchRef for the contract): the reader renumbers
+// and side-car-builds each chunk once at decode, so the views are final and
+// stay valid until the next call on this reader.
+func (r *StreamReader) NextBatchRef() ([]uop.UOp, []uop.Dep, int64) {
+	if r.viewPos == len(r.view.us) {
+		r.nextChunk()
+	}
+	n := len(r.view.us)
+	us, deps := r.view.us[r.viewPos:n], r.deps[r.viewPos:n]
+	r.viewPos = n
+	return us, deps, r.depBase
+}
+
+// SidecarBytes reports the cumulative side-car footprint built during
+// replay so far (12 bytes per replayed uop; the resident buffer is one
+// recycled chunk's worth).
+func (r *StreamReader) SidecarBytes() int64 { return r.depUops * depSize }
+
+// SidecarBuildNanos reports the cumulative time spent building side-cars
+// during replay.
+func (r *StreamReader) SidecarBuildNanos() int64 { return r.depNanos }
 
 // FileInfo summarizes a trace file for `loadsched trace info`.
 type FileInfo struct {
@@ -573,6 +647,10 @@ type FileInfo struct {
 	PayloadBytes int64 // v2 chunk payloads / v1 record bytes, sans framing
 	FileBytes    int64
 	KindCounts   [uop.NumKinds]int64
+	// SidecarBytes and SidecarBuildNanos describe the dependence side-car
+	// a full replay of the file builds (one chunk resident at a time).
+	SidecarBytes      int64
+	SidecarBuildNanos int64
 }
 
 // BytesPerUop is the payload density — the headline the packed format is
@@ -582,6 +660,15 @@ func (fi *FileInfo) BytesPerUop() float64 {
 		return 0
 	}
 	return float64(fi.PayloadBytes) / float64(fi.Uops)
+}
+
+// SidecarBytesPerUop is the side-car density a replay pays on top of the
+// decoded view.
+func (fi *FileInfo) SidecarBytesPerUop() float64 {
+	if fi.Uops == 0 {
+		return 0
+	}
+	return float64(fi.SidecarBytes) / float64(fi.Uops)
 }
 
 // InspectTraceFile validates path and reports its shape without ever
@@ -606,5 +693,7 @@ func InspectTraceFile(path string) (*FileInfo, error) {
 	for i := int64(0); i < fi.Uops; i++ {
 		fi.KindCounts[r.Next().Kind]++
 	}
+	fi.SidecarBytes = r.SidecarBytes()
+	fi.SidecarBuildNanos = r.SidecarBuildNanos()
 	return fi, nil
 }

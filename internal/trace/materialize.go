@@ -55,10 +55,17 @@ type Recording struct {
 	mu     sync.Mutex
 	gen    *Generator
 	sealed []*packedChunk // generated so far; guarded by mu
+	// depGen shadows gen: it observes every generated uop so that carries
+	// holds, for each chunk, the analyzer state at that chunk's start —
+	// the carry a lazy side-car build resumes from. Both guarded by mu.
+	depGen  depAnalyzer
+	carries []depAnalyzer // analyzer snapshot at each chunk's start
 
-	chunks atomic.Value                // []*packedChunk: published prefix of sealed
-	views  []atomic.Pointer[ChunkView] // decoded-chunk cache, one slot per chunk
-	packed atomic.Int64                // total payload bytes across sealed chunks
+	chunks  atomic.Value                // []*packedChunk: published prefix of sealed
+	views   []atomic.Pointer[ChunkView] // decoded-chunk cache, one slot per chunk
+	deps    []atomic.Pointer[DepChunk]  // side-car cache, one slot per chunk
+	packed  atomic.Int64                // total payload bytes across sealed chunks
+	sidecar atomic.Int64                // total side-car bytes across built DepChunks
 }
 
 // Materialize returns the process-wide recording for p, creating it (empty)
@@ -78,6 +85,8 @@ func Materialize(p Profile) *Recording {
 	r := &Recording{prof: p, maxChunks: mc, gen: New(p)}
 	r.chunks.Store([]*packedChunk(nil))
 	r.views = make([]atomic.Pointer[ChunkView], mc)
+	r.deps = make([]atomic.Pointer[DepChunk], mc)
+	r.carries = make([]depAnalyzer, mc)
 	recordings[p] = r
 	return r
 }
@@ -95,8 +104,11 @@ func (r *Recording) chunk(ci int) *packedChunk {
 	for len(cs) <= ci {
 		var e chunkEncoder
 		e.begin()
+		r.carries[len(cs)] = r.depGen
 		for i := 0; i < ChunkUops; i++ {
-			e.add(r.gen.Next())
+			u := r.gen.Next()
+			e.add(u)
+			r.depGen.observe(&u)
 		}
 		c := e.seal()
 		r.packed.Add(int64(c.packedBytes()))
@@ -127,6 +139,28 @@ func (r *Recording) view(ci int) *ChunkView {
 	return r.views[ci].Load()
 }
 
+// dep returns the dependence side-car for chunk ci, building and publishing
+// it on first demand. Like views, published side-cars are immutable and
+// permanent: recordings are append-only, so a chunk's dependence links can
+// never be invalidated. Racing builders do redundant work; one wins the CAS
+// and the losers adopt its result.
+func (r *Recording) dep(ci int) *DepChunk {
+	if d := r.deps[ci].Load(); d != nil {
+		return d
+	}
+	v := r.view(ci) // ensures the chunk exists, so carries[ci] is written
+	r.mu.Lock()
+	an := r.carries[ci]
+	r.mu.Unlock()
+	d := &DepChunk{Deps: make([]uop.Dep, len(v.us))}
+	d.BaseStore = an.buildInto(d.Deps, v.us)
+	if r.deps[ci].CompareAndSwap(nil, d) {
+		r.sidecar.Add(int64(len(d.Deps)) * depSize)
+		return d
+	}
+	return r.deps[ci].Load()
+}
+
 // Len reports how many uops have been recorded so far. Shared chunks are
 // always full, so the length is a whole number of chunks.
 func (r *Recording) Len() int {
@@ -136,6 +170,10 @@ func (r *Recording) Len() int {
 // PackedBytes reports the recording's payload footprint in bytes — the
 // packed columns and delta streams, excluding the decoded-view cache.
 func (r *Recording) PackedBytes() int64 { return r.packed.Load() }
+
+// SidecarBytes reports the footprint of the dependence side-cars built so
+// far (12 bytes per uop per built chunk).
+func (r *Recording) SidecarBytes() int64 { return r.sidecar.Load() }
 
 // Cursor replays a recording from the start. It implements the engine's
 // Source (and its bulk extension, NextBatch). Cursors are cheap — one
@@ -151,11 +189,22 @@ type Cursor struct {
 	us   []uop.UOp
 	base int // stream position of us[0]
 	i    int // next index within us
+	// deps mirrors us entry for entry with the chunk's dependence
+	// side-car; depBase is the store base its LastStore deltas are
+	// relative to (-1: invalid, consumers fall back). Wired on every
+	// advance — shared chunks adopt the CAS-published DepChunk, the tail
+	// rebuilds into a private buffer per refill.
+	deps    []uop.Dep
+	depBase int64
 	// tail streams the portion beyond the sharing cap from a private
 	// generator through priv, a recycled single-owner chunk view; both are
-	// nil until the cap is crossed.
-	tail *Generator
-	priv *ChunkView
+	// nil until the cap is crossed. tailAn replays the shared prefix's
+	// dependence state so private side-cars continue seamlessly, and
+	// privDeps is the recycled side-car buffer paired with priv.
+	tail     *Generator
+	priv     *ChunkView
+	tailAn   *depAnalyzer
+	privDeps []uop.Dep
 }
 
 // Replay returns a cursor over p's shared recording.
@@ -189,6 +238,44 @@ func (c *Cursor) NextBatch(dst []uop.UOp) int {
 	return n
 }
 
+// NextBatchDeps is NextBatch plus the dependence side-car: it fills deps in
+// lockstep with dst (deps must be at least as long as the returned count;
+// callers size it like dst) and returns the store base the batch's
+// Dep.LastStore deltas are relative to, -1 if the chunk's side-car store
+// deltas are invalid. Like NextBatch it never crosses a chunk boundary, so
+// one base covers the whole batch.
+func (c *Cursor) NextBatchDeps(dst []uop.UOp, deps []uop.Dep) (int, int64) {
+	if len(dst) == 0 {
+		return 0, 0
+	}
+	if c.i == len(c.us) {
+		c.advance()
+	}
+	n := copy(dst, c.us[c.i:])
+	if m := copy(deps, c.deps[c.i:c.i+n]); m < n {
+		n = m
+	}
+	c.i += n
+	return n, c.depBase
+}
+
+// NextBatchRef returns the remainder of the current decoded chunk as direct
+// views — the uops, their side-car entries in lockstep, and the store base
+// the batch's Dep.LastStore deltas are relative to — consuming it all. The
+// slices stay valid until the next call on this cursor and must be treated
+// as read-only: shared recording chunks back them for every consumer at
+// once. This is the engine fetch path's refill seam (ooo.DepBatchSource);
+// handing out chunk storage in place replaces the per-batch double copy of
+// NextBatchDeps.
+func (c *Cursor) NextBatchRef() ([]uop.UOp, []uop.Dep, int64) {
+	if c.i == len(c.us) {
+		c.advance()
+	}
+	us, deps := c.us[c.i:], c.deps[c.i:]
+	c.i = len(c.us)
+	return us, deps, c.depBase
+}
+
 // Pos reports how many uops the cursor has consumed so far. Batch drivers
 // (runner.RunBatch) use it to keep a group of engines inside one shared
 // window of the recording.
@@ -201,6 +288,8 @@ func (c *Cursor) advance() {
 	c.base, c.i = pos, 0
 	if ci := pos >> chunkShift; ci < c.rec.maxChunks {
 		c.us = c.rec.view(ci).us
+		dc := c.rec.dep(ci)
+		c.deps, c.depBase = dc.Deps, dc.BaseStore
 		return
 	}
 	c.advanceTail()
@@ -213,13 +302,18 @@ func (c *Cursor) advance() {
 func (c *Cursor) advanceTail() {
 	if c.tail == nil {
 		c.tail = New(c.rec.prof)
+		c.tailAn = &depAnalyzer{}
 		for i := 0; i < c.base; i++ {
-			c.tail.Next()
+			u := c.tail.Next()
+			c.tailAn.observe(&u)
 		}
 		c.priv = newOwnedView()
+		c.privDeps = make([]uop.Dep, ChunkUops)
 	}
 	fillView(c.priv, c.tail)
 	c.us = c.priv.us
+	c.depBase = c.tailAn.buildInto(c.privDeps[:len(c.us)], c.us)
+	c.deps = c.privDeps[:len(c.us)]
 }
 
 // newOwnedView allocates a private view with chunk-sized backing storage.

@@ -106,6 +106,48 @@ type UOp struct {
 	Mispredicted bool
 }
 
+// Dep is one uop's entry in the static dependence side-car: the part of
+// register renaming and store ordering that is a pure function of the uop
+// stream, precomputed once per trace chunk and shared by every machine
+// configuration replaying it (the same observation that makes Moshovos-style
+// dependence prediction work — dependences are stable stream properties).
+// All references are stream-position deltas, which are invariant under the
+// Seq/StoreID renumbering replay sources apply when a finite trace wraps.
+//
+// The struct packs to 12 bytes; the side-car rides next to the 40-byte uop
+// itself, so a chunk's side-car costs ~30% of its decoded view.
+type Dep struct {
+	// IPHash is HashIP(IP), precomputed so predictor-indexing policies can
+	// fold a 64-bit IP without rehashing per configuration.
+	IPHash uint32
+	// Src1Back and Src2Back give each source register's producer as a
+	// backward stream-position delta: the producer of SrcN is the uop
+	// DepSrcNBack positions earlier in the stream. 0 means no in-trace
+	// producer (NoReg source, or no prior writer); DepSaturated means the
+	// true delta is DepSaturated or larger — callers must treat any delta
+	// at or beyond their in-flight window as already-retired, which is
+	// exact as long as the window holds fewer than DepSaturated uops.
+	Src1Back, Src2Back uint16
+	// LastStore gives, for loads, the youngest store preceding this uop as
+	// a delta over the side-car batch's store base: the absolute id is
+	// base + LastStore, where the base is reported alongside the batch. A
+	// batch whose ids would overflow the delta reports an invalid base and
+	// consumers fall back to their own store tracking.
+	LastStore uint16
+}
+
+// DepSaturated is the saturation value of the Src1Back/Src2Back deltas.
+const DepSaturated = 1<<16 - 1
+
+// HashIP folds an instruction pointer to the 32-bit value carried in
+// Dep.IPHash: the word-aligned IP (low bits dropped, as every history-based
+// predictor in the paper does) with its high half XOR-folded in, so IPs
+// beyond 4 GiB still contribute entropy.
+func HashIP(ip uint64) uint32 {
+	v := ip >> 2
+	return uint32(v) ^ uint32(v>>32)
+}
+
 // HasMemAddr reports whether Addr is meaningful for this uop.
 func (u *UOp) HasMemAddr() bool { return u.Kind == Load || u.Kind == STA }
 
