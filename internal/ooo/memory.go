@@ -196,23 +196,36 @@ func (e *Engine) classifyLoad(idx int32) {
 	lo := e.storesDoneTo(&e.allDoneTo, executed) // ≥ mob.first
 	a0, a1, b0, b1 := e.mobSegsFrom(lo, older)
 	id := lo
-	for _, sg := range [2][2]int{{a0, a1}, {b0, b1}} {
-		for pos := sg[0]; pos < sg[1]; pos++ {
-			// A store is ambiguous only while a half is undispatched: once
-			// both halves have at least dispatched, the scheduler knows the
-			// address and the data timing.
-			if f := flags[pos]; f&mStaSeen != 0 && f&executed != executed {
-				conflicting = true
-				if overlap(addrs[pos], int(sizes[pos]), addr, size) {
-					colliding = true
-					d := older - id + 1
-					if dist == 0 || d < dist {
-						dist = d
-					}
+	// Both ring segments walked with the same body, unrolled so the hot
+	// pre-wrap segment runs without per-segment range setup.
+	for pos := a0; pos < a1; pos++ {
+		// A store is ambiguous only while a half is undispatched: once
+		// both halves have at least dispatched, the scheduler knows the
+		// address and the data timing.
+		if f := flags[pos]; f&mStaSeen != 0 && f&executed != executed {
+			conflicting = true
+			if overlap(addrs[pos], int(sizes[pos]), addr, size) {
+				colliding = true
+				d := older - id + 1
+				if dist == 0 || d < dist {
+					dist = d
 				}
 			}
-			id++
 		}
+		id++
+	}
+	for pos := b0; pos < b1; pos++ {
+		if f := flags[pos]; f&mStaSeen != 0 && f&executed != executed {
+			conflicting = true
+			if overlap(addrs[pos], int(sizes[pos]), addr, size) {
+				colliding = true
+				d := older - id + 1
+				if dist == 0 || d < dist {
+					dist = d
+				}
+			}
+		}
+		id++
 	}
 	if conflicting {
 		r.flags[idx] |= fConflicting

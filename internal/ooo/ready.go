@@ -46,8 +46,11 @@ type wakeEvent struct {
 	idx int32
 }
 
-// wakeHeap is a binary min-heap of wakeEvents ordered by at. Pop order
+// wakeHeap is a 4-ary min-heap of wakeEvents ordered by at. Pop order
 // among equal cycles is arbitrary; insertReady re-establishes age order.
+// The wider node halves the sift depth of a binary heap: pushes — one per
+// operand-waiting uop — compare against a quarter as many ancestors, and
+// the extra sibling compares on pop stay in one cache line of events.
 type wakeHeap []wakeEvent
 
 func (h *wakeHeap) push(ev wakeEvent) {
@@ -55,7 +58,7 @@ func (h *wakeHeap) push(ev wakeEvent) {
 	*h = q
 	i := len(q) - 1
 	for i > 0 {
-		p := (i - 1) / 2
+		p := (i - 1) / 4
 		if q[p].at <= q[i].at {
 			break
 		}
@@ -73,13 +76,18 @@ func (h *wakeHeap) pop() wakeEvent {
 	*h = q
 	i := 0
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := 4*i + 1
+		if c >= n {
 			break
 		}
-		c := l
-		if r := l + 1; r < n && q[r].at < q[l].at {
-			c = r
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for s := c + 1; s < hi; s++ {
+			if q[s].at < q[c].at {
+				c = s
+			}
 		}
 		if q[i].at <= q[c].at {
 			break
